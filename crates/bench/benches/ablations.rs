@@ -1,0 +1,45 @@
+//! Criterion timing of the design-decision ablations (D2, D4, D5): how
+//! much each knob costs per synthesis run. The *quality* impact of the
+//! same knobs is reported by the `ablations` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use momsynth_bench::HarnessOptions;
+use momsynth_core::Synthesizer;
+use momsynth_gen::suite::mul;
+use momsynth_sched::Priority;
+
+fn ablation_costs(c: &mut Criterion) {
+    let system = mul(9);
+    let options = HarnessOptions { runs: 1, base_seed: 0, quick: true };
+
+    let mut group = c.benchmark_group("ablation_costs_mul9");
+    group.sample_size(10);
+    group.bench_function("d2_improvement_on", |b| {
+        b.iter(|| Synthesizer::new(&system, options.config(0, true, false)).run())
+    });
+    group.bench_function("d2_improvement_off", |b| {
+        b.iter(|| {
+            let mut cfg = options.config(0, true, false);
+            cfg.improvement_operators = false;
+            Synthesizer::new(&system, cfg).run()
+        })
+    });
+    group.bench_function("d4_replication_off", |b| {
+        b.iter(|| {
+            let mut cfg = options.config(0, true, false);
+            cfg.alloc.replicate = false;
+            Synthesizer::new(&system, cfg).run()
+        })
+    });
+    group.bench_function("d5_fifo_priorities", |b| {
+        b.iter(|| {
+            let mut cfg = options.config(0, true, false);
+            cfg.scheduler.priority = Priority::Fifo;
+            Synthesizer::new(&system, cfg).run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_costs);
+criterion_main!(benches);

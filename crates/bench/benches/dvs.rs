@@ -1,0 +1,42 @@
+//! Criterion timing of the voltage-scaling layer: the Fig. 5 virtual-task
+//! transformation and PV-DVS at coarse and fine quanta.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use momsynth_dvs::{scale_mode, virtual_tasks, DvsOptions};
+use momsynth_gen::suite::{generate, GeneratorParams};
+use momsynth_model::ids::ModeId;
+use momsynth_sched::{schedule_mode, CoreAllocation, SchedulerOptions, SystemMapping};
+
+fn dvs(c: &mut Criterion) {
+    let mut params = GeneratorParams::new("dvsbench", 7);
+    params.modes = 1;
+    params.tasks_per_mode = (24, 24);
+    params.dvs_software_pes = 1;
+    params.dvs_hardware_pes = 1;
+    params.slack_factor = 1.8;
+    let system = generate(&params);
+    let hw = system.arch().hardware_pes().next().expect("one HW PE");
+    let mapping = SystemMapping::from_fn(&system, |id| {
+        let candidates = system.candidate_pes(id);
+        *candidates.iter().find(|&&pe| pe == hw).unwrap_or(&candidates[0])
+    });
+    let alloc = CoreAllocation::minimal(&system, &mapping);
+    let schedule =
+        schedule_mode(&system, ModeId::new(0), &mapping, &alloc, SchedulerOptions::default())
+            .expect("benchmark system schedules");
+
+    let mut group = c.benchmark_group("dvs");
+    group.bench_function("fig5_virtual_tasks", |b| {
+        b.iter(|| virtual_tasks(&system, &schedule, hw))
+    });
+    group.bench_function("pvdvs_coarse", |b| {
+        b.iter(|| scale_mode(&system, &schedule, &DvsOptions::default()))
+    });
+    group.bench_function("pvdvs_fine", |b| {
+        b.iter(|| scale_mode(&system, &schedule, &DvsOptions::fine()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dvs);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion timing of the scheduling substrate: mobility analysis, list
+//! scheduling and core-allocation derivation on a mid-size benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use momsynth_core::{derive_allocation, AllocOptions};
+use momsynth_gen::suite::mul;
+use momsynth_model::ids::ModeId;
+use momsynth_sched::{
+    schedule_mode, CoreAllocation, Priority, SchedulerOptions, SystemMapping, TimingAnalysis,
+};
+
+fn scheduling(c: &mut Criterion) {
+    let system = mul(3);
+    // Spread tasks over their first two candidates for realistic traffic.
+    let mut flip = false;
+    let mapping = SystemMapping::from_fn(&system, |id| {
+        let candidates = system.candidate_pes(id);
+        flip = !flip;
+        candidates[usize::from(flip && candidates.len() > 1)]
+    });
+    let alloc = CoreAllocation::minimal(&system, &mapping);
+    let mode = ModeId::new(0);
+
+    let mut group = c.benchmark_group("scheduling_mul3");
+    group.bench_function("timing_analysis", |b| {
+        b.iter(|| TimingAnalysis::analyze(&system, mode, &mapping))
+    });
+    group.bench_function("list_schedule_mobility", |b| {
+        b.iter(|| {
+            schedule_mode(&system, mode, &mapping, &alloc, SchedulerOptions::default()).unwrap()
+        })
+    });
+    group.bench_function("list_schedule_fifo", |b| {
+        b.iter(|| {
+            schedule_mode(
+                &system,
+                mode,
+                &mapping,
+                &alloc,
+                SchedulerOptions { priority: Priority::Fifo },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("derive_allocation", |b| {
+        b.iter(|| derive_allocation(&system, &mapping, &AllocOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scheduling);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion timing of the table-generating synthesis flows: one GA run
+//! per flavour on the smallest suite benchmark (mul9), matching the
+//! per-run cost that Tables 1–3 multiply by their run counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use momsynth_bench::HarnessOptions;
+use momsynth_core::Synthesizer;
+use momsynth_gen::suite::mul;
+
+fn synthesis_flows(c: &mut Criterion) {
+    let system = mul(9);
+    let options = HarnessOptions { runs: 1, base_seed: 0, quick: true };
+
+    let mut group = c.benchmark_group("table_flows_mul9");
+    group.sample_size(10);
+    group.bench_function("no_dvs_probability_aware", |b| {
+        b.iter(|| Synthesizer::new(&system, options.config(0, true, false)).run())
+    });
+    group.bench_function("no_dvs_probability_neglecting", |b| {
+        b.iter(|| Synthesizer::new(&system, options.config(0, false, false)).run())
+    });
+    group.bench_function("dvs_probability_aware", |b| {
+        b.iter(|| Synthesizer::new(&system, options.config(0, true, true)).run())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, synthesis_flows);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Usage-profile sensitivity study (an extension beyond the paper's
+//! experiments, enabled by its own observation that "mode probabilities
+//! vary from user to user"): synthesise the smart phone for three user
+//! profiles derived from semi-Markov usage models and compare both the
+//! resulting implementations and the cost of running the *wrong* user's
+//! implementation.
+//!
+//! Usage: `cargo run --release -p momsynth-bench --bin profile_sensitivity [--runs N] [--seed S] [--quick]`
+
+use momsynth_bench::HarnessOptions;
+use momsynth_core::{Evaluator, Synthesizer};
+use momsynth_dvs::DvsOptions;
+use momsynth_gen::smartphone::smartphone;
+use momsynth_model::usage::UsageModel;
+use momsynth_model::units::Seconds;
+use momsynth_model::System;
+
+/// Builds a usage profile as (sojourn seconds, ring weights) over the
+/// phone's 8 modes: gsm_rlc, rlc, network_search, photo_rlc, photo_ns,
+/// mp3_rlc, mp3_ns, camera.
+fn profile(sojourns: [f64; 8]) -> Vec<f64> {
+    let mut usage = UsageModel::new(8);
+    for (i, &s) in sojourns.iter().enumerate() {
+        usage.set_sojourn(i, Seconds::new(s));
+    }
+    // Everything cycles through the RLC hub (mode 1), like Fig. 1a.
+    for m in [0, 2, 3, 4, 5, 6, 7] {
+        usage.set_transition_weight(1, m, 1.0);
+        usage.set_transition_weight(m, 1, 1.0);
+    }
+    usage.mode_probabilities().expect("profiles are ergodic")
+}
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let base = smartphone();
+
+    // Sojourn seconds per visit: [gsm_rlc, rlc, ns, photo_rlc, photo_ns,
+    // mp3_rlc, mp3_ns, camera].
+    let profiles: [(&str, [f64; 8]); 3] = [
+        ("talker", [600.0, 900.0, 10.0, 5.0, 5.0, 30.0, 5.0, 5.0]),
+        ("music_lover", [60.0, 400.0, 10.0, 5.0, 5.0, 1800.0, 60.0, 5.0]),
+        ("photographer", [60.0, 400.0, 10.0, 300.0, 30.0, 60.0, 5.0, 300.0]),
+    ];
+
+    // Synthesise one implementation per profile.
+    let mut systems: Vec<(String, System)> = Vec::new();
+    for (name, sojourns) in &profiles {
+        let psi = profile(*sojourns);
+        let omsm = base.omsm().with_probabilities(&psi).expect("valid probabilities");
+        let system = System::new(
+            format!("smartphone_{name}"),
+            omsm,
+            base.arch().clone(),
+            base.tech().clone(),
+        )
+        .expect("valid system");
+        systems.push((name.to_string(), system));
+    }
+
+    println!("derived mode probabilities:");
+    for (name, system) in &systems {
+        let psi: Vec<String> = system
+            .omsm()
+            .modes()
+            .map(|(_, m)| format!("{}={:.2}", m.name(), m.probability()))
+            .collect();
+        println!("  {:<13} {}", name, psi.join("  "));
+    }
+
+    let mut results = Vec::new();
+    for (name, system) in &systems {
+        eprintln!("synthesising for {name} ({} runs) …", options.runs);
+        let result = (0..options.runs)
+            .map(|i| {
+                let cfg = options.config(options.base_seed + i, true, true);
+                Synthesizer::new(system, cfg).run()
+            })
+            .min_by(|a, b| a.best.fitness.total_cmp(&b.best.fitness))
+            .expect("at least one run");
+        println!(
+            "\n{name}: {:.4} mW (feasible: {})",
+            result.best.power.average.as_milli(),
+            result.best.is_feasible()
+        );
+        results.push((name.clone(), result));
+    }
+
+    // Cross-evaluation: what does user B pay for running user A's mapping?
+    println!("\ncross-evaluation (rows: mapping optimised for; columns: actual user) [mW]:");
+    print!("{:<13}", "");
+    for (name, _) in &systems {
+        print!(" {name:>13}");
+    }
+    println!();
+    for (row_name, result) in &results {
+        print!("{row_name:<13}");
+        for (_, system) in &systems {
+            let cfg = options.config(options.base_seed, true, true);
+            let evaluator = Evaluator::new(system, &cfg);
+            let solution = evaluator
+                .evaluate(result.best.mapping.clone(), Some(&DvsOptions::fine()))
+                .expect("mapping transfers across profiles");
+            print!(" {:>13.4}", solution.power.average.as_milli());
+        }
+        println!();
+    }
+    println!("\n(each column's minimum should sit on or near the diagonal: a user is served best\n by an implementation synthesised for a profile like theirs, and running a very\n different user's implementation can cost integer factors)");
+}

@@ -1,0 +1,25 @@
+//! Regenerates Table 1: mul1–mul12 without DVS — probability-neglecting
+//! vs probability-aware synthesis.
+//!
+//! Usage: `cargo run --release -p momsynth-bench --bin table1 [--runs N] [--seed S] [--quick]`
+
+use momsynth_bench::{compare_flows, print_table, HarnessOptions};
+use momsynth_gen::suite::mul_suite;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let rows: Vec<_> = mul_suite()
+        .iter()
+        .map(|system| {
+            eprintln!("synthesising {} …", system.name());
+            compare_flows(system, false, &options)
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Table 1 — considering execution probabilities (w/o DVS), {} runs/flow",
+            options.runs
+        ),
+        &rows,
+    );
+}

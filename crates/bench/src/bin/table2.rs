@@ -1,0 +1,26 @@
+//! Regenerates Table 2: mul1–mul12 with DVS — probability-neglecting vs
+//! probability-aware synthesis, voltage scaling on software *and*
+//! hardware PEs.
+//!
+//! Usage: `cargo run --release -p momsynth-bench --bin table2 [--runs N] [--seed S] [--quick]`
+
+use momsynth_bench::{compare_flows, print_table, HarnessOptions};
+use momsynth_gen::suite::mul_suite;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let rows: Vec<_> = mul_suite()
+        .iter()
+        .map(|system| {
+            eprintln!("synthesising {} (DVS) …", system.name());
+            compare_flows(system, true, &options)
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Table 2 — considering execution probabilities (with DVS), {} runs/flow",
+            options.runs
+        ),
+        &rows,
+    );
+}

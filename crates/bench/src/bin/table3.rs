@@ -1,0 +1,27 @@
+//! Regenerates Table 3: the smart-phone real-life example, with and
+//! without DVS, with and without mode execution probabilities.
+//!
+//! Usage: `cargo run --release -p momsynth-bench --bin table3 [--runs N] [--seed S] [--quick]`
+
+use momsynth_bench::{compare_flows, print_table, HarnessOptions};
+use momsynth_gen::smartphone::smartphone;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let phone = smartphone();
+    println!("{}", phone.summary());
+
+    eprintln!("synthesising smart phone (fixed voltage) …");
+    let mut fixed = compare_flows(&phone, false, &options);
+    fixed.name = "w/o DVS".into();
+    eprintln!("synthesising smart phone (DVS) …");
+    let mut dvs = compare_flows(&phone, true, &options);
+    dvs.name = "with DVS".into();
+
+    let overall = (1.0 - dvs.power_aware_mw / fixed.power_neglecting_mw) * 100.0;
+    print_table(
+        &format!("Table 3 — smart phone, {} runs/flow", options.runs),
+        &[fixed, dvs],
+    );
+    println!("overall reduction (w/o DVS, w/o probab. -> DVS + probab.): {overall:.2} %");
+}

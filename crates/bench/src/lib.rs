@@ -1,0 +1,227 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Every binary in this crate reproduces one experiment:
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 — mul1–mul12 without DVS |
+//! | `table2` | Table 2 — mul1–mul12 with DVS |
+//! | `table3` | Table 3 — smart phone, with and without DVS |
+//! | `fig2_example1` | Fig. 2 — motivational Example 1 (exact energies) |
+//! | `fig3_example2` | Fig. 3 — multiple task implementations |
+//! | `fig5_transform` | Fig. 5 — DVS transformation of HW cores |
+//! | `ablations` | design-decision ablations D2–D5 |
+//!
+//! Absolute numbers will not match the paper (the workloads are
+//! regenerated and the hardware numbers synthesised), but the *shape* —
+//! who wins, roughly by how much, and where DVS helps — is asserted by
+//! the integration tests in the workspace root.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use momsynth_core::{SynthesisConfig, Synthesizer};
+use momsynth_model::System;
+
+/// One row of a Table 1/2-style comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of operational modes.
+    pub modes: usize,
+    /// Average power (mW) of the probability-neglecting flow.
+    pub power_neglecting_mw: f64,
+    /// Mean optimisation wall time (s) of the neglecting flow.
+    pub time_neglecting_s: f64,
+    /// Average power (mW) of the proposed probability-aware flow.
+    pub power_aware_mw: f64,
+    /// Mean optimisation wall time (s) of the proposed flow.
+    pub time_aware_s: f64,
+    /// Fraction of runs whose best solution met all constraints.
+    pub feasible_fraction: f64,
+}
+
+impl ComparisonRow {
+    /// Power reduction of the proposed flow in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        if self.power_neglecting_mw == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.power_aware_mw / self.power_neglecting_mw) * 100.0
+    }
+}
+
+/// Harness options shared by the table binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessOptions {
+    /// Optimisation repetitions per flow; reported powers/times are means
+    /// over these runs (the paper averages 40 runs; default here is 5).
+    pub runs: u64,
+    /// Base RNG seed; run `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Shrink the GA (population/generations) for smoke tests.
+    pub quick: bool,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self { runs: 5, base_seed: 1000, quick: false }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses `--runs N`, `--seed N` and `--quick` from process arguments,
+    /// ignoring anything else.
+    pub fn from_args() -> Self {
+        let mut options = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--runs" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        options.runs = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        options.base_seed = v;
+                        i += 1;
+                    }
+                }
+                "--quick" => options.quick = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        options
+    }
+
+    /// The synthesis configuration for one run.
+    pub fn config(&self, seed: u64, probability_aware: bool, dvs: bool) -> SynthesisConfig {
+        let mut cfg = if self.quick {
+            SynthesisConfig::fast_preset(seed)
+        } else {
+            SynthesisConfig::new(seed)
+        };
+        cfg.probability_aware = probability_aware;
+        if dvs {
+            cfg = cfg.with_dvs();
+        }
+        cfg
+    }
+}
+
+/// Runs both flows (`probability-aware` and `-neglecting`) on one system
+/// and averages power and wall time over `options.runs` repetitions.
+pub fn compare_flows(system: &System, dvs: bool, options: &HarnessOptions) -> ComparisonRow {
+    let run_flow = |aware: bool| -> (f64, f64, u64) {
+        let mut power_sum = 0.0;
+        let mut time_sum = 0.0;
+        let mut feasible = 0u64;
+        for i in 0..options.runs {
+            let cfg = options.config(options.base_seed + i, aware, dvs);
+            let start = Instant::now();
+            let result = Synthesizer::new(system, cfg).run();
+            time_sum += start.elapsed().as_secs_f64();
+            power_sum += result.best.power.average.as_milli();
+            if result.best.is_feasible() {
+                feasible += 1;
+            }
+        }
+        let n = options.runs as f64;
+        (power_sum / n, time_sum / n, feasible)
+    };
+
+    let (power_neglecting_mw, time_neglecting_s, feas_n) = run_flow(false);
+    let (power_aware_mw, time_aware_s, feas_a) = run_flow(true);
+    ComparisonRow {
+        name: system.name().to_owned(),
+        modes: system.omsm().mode_count(),
+        power_neglecting_mw,
+        time_neglecting_s,
+        power_aware_mw,
+        time_aware_s,
+        feasible_fraction: (feas_n + feas_a) as f64 / (2 * options.runs) as f64,
+    }
+}
+
+/// Prints rows in the paper's Table 1/2 layout.
+pub fn print_table(title: &str, rows: &[ComparisonRow]) {
+    println!("{title}");
+    println!(
+        "{:<14} {:>6} | {:>14} {:>10} | {:>14} {:>10} | {:>8} {:>6}",
+        "Example",
+        "modes",
+        "p (w/o) [mW]",
+        "CPU [s]",
+        "p (with) [mW]",
+        "CPU [s]",
+        "Red. %",
+        "feas"
+    );
+    println!("{}", "-".repeat(100));
+    for row in rows {
+        println!(
+            "{:<14} {:>6} | {:>14.4} {:>10.2} | {:>14.4} {:>10.2} | {:>8.2} {:>6.2}",
+            row.name,
+            row.modes,
+            row.power_neglecting_mw,
+            row.time_neglecting_s,
+            row.power_aware_mw,
+            row.time_aware_s,
+            row.reduction_percent(),
+            row.feasible_fraction,
+        );
+    }
+    let mean: f64 =
+        rows.iter().map(ComparisonRow::reduction_percent).sum::<f64>() / rows.len().max(1) as f64;
+    let max = rows
+        .iter()
+        .map(ComparisonRow::reduction_percent)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("{}", "-".repeat(100));
+    println!("mean reduction {mean:.2} %, max reduction {max:.2} %");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use momsynth_gen::suite::mul;
+
+    #[test]
+    fn comparison_row_reduction() {
+        let row = ComparisonRow {
+            name: "x".into(),
+            modes: 3,
+            power_neglecting_mw: 10.0,
+            time_neglecting_s: 1.0,
+            power_aware_mw: 7.5,
+            time_aware_s: 1.0,
+            feasible_fraction: 1.0,
+        };
+        assert!((row.reduction_percent() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_compare_runs_end_to_end() {
+        let system = mul(9); // the smallest benchmark
+        let options = HarnessOptions { runs: 1, base_seed: 5, quick: true };
+        let row = compare_flows(&system, false, &options);
+        assert!(row.power_aware_mw > 0.0);
+        assert!(row.power_neglecting_mw > 0.0);
+        assert_eq!(row.modes, 4);
+    }
+
+    #[test]
+    fn options_config_respects_flags() {
+        let options = HarnessOptions { runs: 1, base_seed: 0, quick: true };
+        let cfg = options.config(3, false, true);
+        assert_eq!(cfg.ga.seed, 3);
+        assert!(!cfg.probability_aware);
+        assert!(cfg.dvs.is_some());
+    }
+}

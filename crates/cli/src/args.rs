@@ -1,0 +1,359 @@
+//! Minimal argument parsing for the `momsynth` CLI.
+//!
+//! Hand-rolled on purpose: the CLI has five subcommands with a handful of
+//! flags each, and keeping the workspace's dependency footprint small
+//! (see `DESIGN.md`) beats pulling in a full parser generator.
+
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `info <system.json>` — summary, sizes, shared types.
+    Info {
+        /// Path of the system specification.
+        path: String,
+    },
+    /// `lint <system.json>` — specification diagnostics.
+    Lint {
+        /// Path of the system specification.
+        path: String,
+    },
+    /// `dot <system.json> [--what omsm|arch|mode:<n>]` — Graphviz export.
+    Dot {
+        /// Path of the system specification.
+        path: String,
+        /// What to render.
+        what: DotTarget,
+    },
+    /// `generate [--preset mulN | --seed S --modes M ...] [-o out.json]`.
+    Generate {
+        /// `mulN` preset index, if chosen.
+        preset: Option<usize>,
+        /// Seed for free-form generation.
+        seed: u64,
+        /// Mode count for free-form generation.
+        modes: usize,
+        /// Output path (`-` = stdout).
+        output: String,
+    },
+    /// `convert <spec.tgff> [-o system.json]` — import a TGFF-dialect
+    /// specification.
+    Convert {
+        /// Path of the TGFF input.
+        path: String,
+        /// Output path (`-` = stdout).
+        output: String,
+    },
+    /// `synth <system.json> [--dvs] [--neglect-probabilities] [--seed S]
+    /// [--quick] [-o solution.json]`.
+    Synth {
+        /// Path of the system specification.
+        path: String,
+        /// Enable voltage scaling.
+        dvs: bool,
+        /// Use the probability-neglecting baseline flow.
+        neglect: bool,
+        /// GA seed.
+        seed: u64,
+        /// Use the fast preset.
+        quick: bool,
+        /// Where to write the solution report (`-` = stdout only).
+        output: Option<String>,
+        /// Directory to write per-mode VCD traces into.
+        vcd: Option<String>,
+    },
+    /// `help` or no arguments.
+    Help,
+}
+
+/// What the `dot` subcommand renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DotTarget {
+    /// The top-level mode state machine.
+    Omsm,
+    /// The architecture graph.
+    Arch,
+    /// One mode's task graph.
+    Mode(usize),
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn take_value<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<&'a str, ParseError> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| ParseError(format!("{flag} requires a value")))
+}
+
+/// Parses the argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" | "lint" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| ParseError(format!("{cmd} requires a system file")))?
+                .clone();
+            Ok(if cmd == "info" { Command::Info { path } } else { Command::Lint { path } })
+        }
+        "dot" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| ParseError("dot requires a system file".into()))?
+                .clone();
+            let mut what = DotTarget::Omsm;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--what" => {
+                        let v = take_value(args, &mut i, "--what")?;
+                        what = match v {
+                            "omsm" => DotTarget::Omsm,
+                            "arch" => DotTarget::Arch,
+                            other => match other.strip_prefix("mode:") {
+                                Some(n) => DotTarget::Mode(n.parse().map_err(|_| {
+                                    ParseError(format!("invalid mode index `{n}`"))
+                                })?),
+                                None => {
+                                    return Err(ParseError(format!(
+                                        "unknown dot target `{other}` (use omsm, arch or mode:<n>)"
+                                    )))
+                                }
+                            },
+                        };
+                    }
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Dot { path, what })
+        }
+        "generate" => {
+            let mut preset = None;
+            let mut seed = 1;
+            let mut modes = 4;
+            let mut output = "-".to_owned();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--preset" => {
+                        let v = take_value(args, &mut i, "--preset")?;
+                        let n = v
+                            .strip_prefix("mul")
+                            .and_then(|n| n.parse().ok())
+                            .filter(|n| (1..=12).contains(n))
+                            .ok_or_else(|| {
+                                ParseError(format!("unknown preset `{v}` (use mul1..mul12)"))
+                            })?;
+                        preset = Some(n);
+                    }
+                    "--seed" => {
+                        seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --seed".into()))?;
+                    }
+                    "--modes" => {
+                        modes = take_value(args, &mut i, "--modes")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --modes".into()))?;
+                    }
+                    "-o" | "--output" => {
+                        output = take_value(args, &mut i, "--output")?.to_owned();
+                    }
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Generate { preset, seed, modes, output })
+        }
+        "convert" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| ParseError("convert requires a tgff file".into()))?
+                .clone();
+            let mut output = "-".to_owned();
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "-o" | "--output" => {
+                        output = take_value(args, &mut i, "--output")?.to_owned();
+                    }
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Convert { path, output })
+        }
+        "synth" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| ParseError("synth requires a system file".into()))?
+                .clone();
+            let mut dvs = false;
+            let mut neglect = false;
+            let mut seed = 0;
+            let mut quick = false;
+            let mut output = None;
+            let mut vcd = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--dvs" => dvs = true,
+                    "--neglect-probabilities" => neglect = true,
+                    "--quick" => quick = true,
+                    "--seed" => {
+                        seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --seed".into()))?;
+                    }
+                    "-o" | "--output" => {
+                        output = Some(take_value(args, &mut i, "--output")?.to_owned());
+                    }
+                    "--vcd" => {
+                        vcd = Some(take_value(args, &mut i, "--vcd")?.to_owned());
+                    }
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Synth { path, dvs, neglect, seed, quick, output, vcd })
+        }
+        other => Err(ParseError(format!("unknown command `{other}` (try `momsynth help`)"))),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+momsynth — energy-efficient co-synthesis for multi-mode embedded systems
+
+USAGE:
+    momsynth <COMMAND> [OPTIONS]
+
+COMMANDS:
+    info <system.json>       summarise a system specification
+    lint <system.json>       report specification diagnostics
+    dot <system.json>        export Graphviz (--what omsm|arch|mode:<n>)
+    generate                 emit a system (--preset mul1..mul12 |
+                             --seed S --modes M) [-o file]
+    convert <spec.tgff>      import a TGFF-dialect specification [-o file]
+    synth <system.json>      run co-synthesis (--dvs,
+                             --neglect-probabilities, --seed S, --quick,
+                             -o solution.json, --vcd trace_dir)
+    help                     show this text
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn empty_and_help_yield_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn info_and_lint_need_a_path() {
+        assert_eq!(
+            parse(&argv("info sys.json")).unwrap(),
+            Command::Info { path: "sys.json".into() }
+        );
+        assert!(parse(&argv("info")).is_err());
+        assert_eq!(
+            parse(&argv("lint sys.json")).unwrap(),
+            Command::Lint { path: "sys.json".into() }
+        );
+    }
+
+    #[test]
+    fn dot_targets_parse() {
+        assert_eq!(
+            parse(&argv("dot s.json")).unwrap(),
+            Command::Dot { path: "s.json".into(), what: DotTarget::Omsm }
+        );
+        assert_eq!(
+            parse(&argv("dot s.json --what arch")).unwrap(),
+            Command::Dot { path: "s.json".into(), what: DotTarget::Arch }
+        );
+        assert_eq!(
+            parse(&argv("dot s.json --what mode:3")).unwrap(),
+            Command::Dot { path: "s.json".into(), what: DotTarget::Mode(3) }
+        );
+        assert!(parse(&argv("dot s.json --what nonsense")).is_err());
+        assert!(parse(&argv("dot s.json --what mode:x")).is_err());
+    }
+
+    #[test]
+    fn generate_flags_parse() {
+        let cmd = parse(&argv("generate --preset mul7 -o out.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate { preset: Some(7), seed: 1, modes: 4, output: "out.json".into() }
+        );
+        let cmd = parse(&argv("generate --seed 9 --modes 3")).unwrap();
+        assert_eq!(cmd, Command::Generate { preset: None, seed: 9, modes: 3, output: "-".into() });
+        assert!(parse(&argv("generate --preset mul13")).is_err());
+        assert!(parse(&argv("generate --seed")).is_err());
+    }
+
+    #[test]
+    fn convert_parses() {
+        assert_eq!(
+            parse(&argv("convert spec.tgff -o sys.json")).unwrap(),
+            Command::Convert { path: "spec.tgff".into(), output: "sys.json".into() }
+        );
+        assert!(parse(&argv("convert")).is_err());
+    }
+
+    #[test]
+    fn synth_flags_parse() {
+        let cmd = parse(&argv(
+            "synth s.json --dvs --neglect-probabilities --seed 4 --quick -o sol.json --vcd traces",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Synth {
+                path: "s.json".into(),
+                dvs: true,
+                neglect: true,
+                seed: 4,
+                quick: true,
+                output: Some("sol.json".into()),
+                vcd: Some("traces".into()),
+            }
+        );
+        assert!(parse(&argv("synth")).is_err());
+        assert!(parse(&argv("synth s.json --bogus")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = parse(&argv("frobnicate")).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+}

@@ -1,0 +1,236 @@
+//! `momsynth` — command-line front end for multi-mode co-synthesis.
+//!
+//! See [`args::HELP`] or run `momsynth help` for usage. System
+//! specifications are the JSON serialisation of
+//! [`momsynth_model::System`]; the `generate` subcommand produces them and
+//! `synth` consumes them.
+
+mod args;
+
+use std::process::ExitCode;
+
+use momsynth_core::{SynthesisConfig, Synthesizer};
+use momsynth_gen::suite::{generate, mul, GeneratorParams};
+use momsynth_model::{dot, lint, System};
+use momsynth_power::energy_breakdown;
+
+use args::{parse, Command, DotTarget, HELP};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_system(path: &str) -> Result<System, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok(serde_json::from_str(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))?)
+}
+
+fn write_output(path: &str, contents: &str) -> Result<(), Box<dyn std::error::Error>> {
+    if path == "-" {
+        print!("{contents}");
+    } else {
+        std::fs::write(path, contents).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match command {
+        Command::Help => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Command::Info { path } => {
+            let system = load_system(&path)?;
+            println!("{}", system.summary());
+            for (_, mode) in system.omsm().modes() {
+                println!(
+                    "  {:<20} Ψ={:<6.3} {:>4} tasks {:>4} edges  period {:.3} ms",
+                    mode.name(),
+                    mode.probability(),
+                    mode.graph().task_count(),
+                    mode.graph().comm_count(),
+                    mode.graph().period().as_millis(),
+                );
+            }
+            let shared = system.shared_types();
+            if !shared.is_empty() {
+                let names: Vec<&str> =
+                    shared.iter().map(|&t| system.tech().type_name(t)).collect();
+                println!("shared task types: {}", names.join(", "));
+            }
+            let warnings = lint::lint_system(&system);
+            if warnings.is_empty() {
+                println!("lint: clean");
+            } else {
+                println!("lint: {} warning(s) — run `momsynth lint`", warnings.len());
+            }
+            Ok(())
+        }
+        Command::Lint { path } => {
+            let system = load_system(&path)?;
+            let warnings = lint::lint_system(&system);
+            if warnings.is_empty() {
+                println!("no diagnostics");
+            }
+            for w in warnings {
+                println!("warning: {w}");
+            }
+            Ok(())
+        }
+        Command::Dot { path, what } => {
+            let system = load_system(&path)?;
+            let text = match what {
+                DotTarget::Omsm => dot::omsm_to_dot(system.omsm()),
+                DotTarget::Arch => dot::architecture_to_dot(system.arch()),
+                DotTarget::Mode(n) => {
+                    if n >= system.omsm().mode_count() {
+                        return Err(format!(
+                            "mode {n} out of range (system has {})",
+                            system.omsm().mode_count()
+                        )
+                        .into());
+                    }
+                    dot::task_graph_to_dot(
+                        system.omsm().mode(momsynth_model::ids::ModeId::new(n)).graph(),
+                    )
+                }
+            };
+            print!("{text}");
+            Ok(())
+        }
+        Command::Convert { path, output } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let stem = std::path::Path::new(&path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("imported");
+            let system = momsynth_gen::tgff::parse_system(stem, &text)?;
+            let json = serde_json::to_string_pretty(&system)?;
+            write_output(&output, &json)?;
+            eprintln!("{}", system.summary());
+            Ok(())
+        }
+        Command::Generate { preset, seed, modes, output } => {
+            let system = match preset {
+                Some(n) => mul(n),
+                None => {
+                    let mut params = GeneratorParams::new(format!("generated_{seed}"), seed);
+                    params.modes = modes;
+                    generate(&params)
+                }
+            };
+            let json = serde_json::to_string_pretty(&system)?;
+            write_output(&output, &json)?;
+            eprintln!("{}", system.summary());
+            Ok(())
+        }
+        Command::Synth { path, dvs, neglect, seed, quick, output, vcd } => {
+            let system = load_system(&path)?;
+            let mut config = if quick {
+                SynthesisConfig::fast_preset(seed)
+            } else {
+                SynthesisConfig::new(seed)
+            };
+            config.probability_aware = !neglect;
+            if dvs {
+                config = config.with_dvs();
+            }
+            eprintln!(
+                "synthesising `{}` ({}, {}) …",
+                system.name(),
+                if neglect { "probability-neglecting" } else { "probability-aware" },
+                if dvs { "DVS" } else { "fixed voltage" },
+            );
+            let result = Synthesizer::new(&system, config).run();
+            println!(
+                "average power: {:.6} mW  (feasible: {}, {} generations, {} evaluations, {:.2} s)",
+                result.best.power.average.as_milli(),
+                result.best.is_feasible(),
+                result.generations,
+                result.evaluations,
+                result.wall_time.as_secs_f64(),
+            );
+            println!("mapping: {}", result.best.mapping.mapping_string());
+            print!("{}", result.best.power);
+
+            // Per-component attribution.
+            let factors: Vec<Vec<f64>> = system
+                .omsm()
+                .modes()
+                .map(|(mode, m)| {
+                    (0..m.graph().task_count())
+                        .map(|t| {
+                            result.best.voltage_schedules[mode.index()][t]
+                                .as_ref()
+                                .map(|vs| {
+                                    let pe = result.best.mapping.pe_of(
+                                        mode,
+                                        momsynth_model::ids::TaskId::new(t),
+                                    );
+                                    let cap = system.arch().pe(pe).dvs().expect("scaled on DVS PE");
+                                    vs.energy_factor(&momsynth_dvs::VoltageModel::from_capability(cap))
+                                })
+                                .unwrap_or(1.0)
+                        })
+                        .collect()
+                })
+                .collect();
+            let imps: Vec<momsynth_power::ModeImplementation> = result
+                .best
+                .schedules
+                .iter()
+                .zip(&factors)
+                .map(|(s, f)| momsynth_power::ModeImplementation::scaled(s, f))
+                .collect();
+            let breakdown = energy_breakdown(&system, &imps);
+            print!("{}", breakdown.to_table_string(&system));
+
+            if let Some(dir) = vcd {
+                std::fs::create_dir_all(&dir)
+                    .map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+                for schedule in &result.best.schedules {
+                    let mode = system.omsm().mode(schedule.mode());
+                    let text = momsynth_sched::schedule_to_vcd(&system, schedule);
+                    let file = format!("{dir}/{}.vcd", mode.name().replace(char::is_whitespace, "_"));
+                    std::fs::write(&file, text)
+                        .map_err(|e| format!("cannot write `{file}`: {e}"))?;
+                    eprintln!("wrote {file}");
+                }
+            }
+
+            if let Some(path) = output {
+                let report = serde_json::json!({
+                    "system": system.name(),
+                    "average_power_mw": result.best.power.average.as_milli(),
+                    "feasible": result.best.is_feasible(),
+                    "mapping": result.best.mapping,
+                    "alloc": result.best.alloc,
+                    "schedules": result.best.schedules,
+                    "power": result.best.power,
+                    "generations": result.generations,
+                    "evaluations": result.evaluations,
+                });
+                write_output(&path, &serde_json::to_string_pretty(&report)?)?;
+            }
+            Ok(())
+        }
+    }
+}

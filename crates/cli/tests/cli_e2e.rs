@@ -1,0 +1,151 @@
+//! End-to-end tests of the `momsynth` binary: generate → info → lint →
+//! dot → synth, via real process invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn momsynth(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_momsynth"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp_file(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("momsynth_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = momsynth(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+    let out = momsynth(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("COMMANDS"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = momsynth(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("frobnicate"));
+}
+
+#[test]
+fn generate_info_lint_dot_round_trip() {
+    let path = tmp_file("sys.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+
+    let out = momsynth(&["generate", "--preset", "mul9", "-o", path_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(path.exists());
+
+    let out = momsynth(&["info", path_str]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("mul9"));
+    assert!(text.contains("modes"));
+    assert!(text.contains("lint:"));
+
+    let out = momsynth(&["lint", path_str]);
+    assert!(out.status.success());
+
+    for what in ["omsm", "arch", "mode:0"] {
+        let out = momsynth(&["dot", path_str, "--what", what]);
+        assert!(out.status.success(), "dot --what {what}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("graph"), "dot --what {what} produced: {text}");
+    }
+
+    // Out-of-range mode is a clean error.
+    let out = momsynth(&["dot", path_str, "--what", "mode:99"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("out of range"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn synth_runs_and_writes_solution() {
+    let sys_path = tmp_file("synth_sys.json");
+    let sol_path = tmp_file("solution.json");
+    let sys_str = sys_path.to_str().expect("utf-8 temp path");
+    let sol_str = sol_path.to_str().expect("utf-8 temp path");
+
+    let out = momsynth(&["generate", "--preset", "mul9", "-o", sys_str]);
+    assert!(out.status.success());
+
+    let out = momsynth(&["synth", sys_str, "--quick", "--seed", "3", "-o", sol_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("average power"));
+    assert!(text.contains("mapping:"));
+    assert!(text.contains("component"));
+
+    let solution: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&sol_path).expect("solution written"))
+            .expect("valid JSON");
+    assert_eq!(solution["system"], "mul9");
+    assert!(solution["average_power_mw"].as_f64().expect("number") > 0.0);
+    assert!(solution["mapping"].is_object() || solution["mapping"].is_array() || !solution["mapping"].is_null());
+
+    std::fs::remove_file(&sys_path).ok();
+    std::fs::remove_file(&sol_path).ok();
+}
+
+#[test]
+fn convert_imports_tgff_and_synthesises() {
+    let tgff = concat!(env!("CARGO_MANIFEST_DIR"), "/../../assets/sample.tgff");
+    let sys_path = tmp_file("converted.json");
+    let sys_str = sys_path.to_str().expect("utf-8 temp path");
+
+    let out = momsynth(&["convert", tgff, "-o", sys_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("2 modes"));
+
+    let out = momsynth(&["synth", sys_str, "--quick", "--dvs"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("average power"));
+
+    std::fs::remove_file(&sys_path).ok();
+}
+
+#[test]
+fn convert_reports_parse_errors_with_lines() {
+    let bad = tmp_file("bad.tgff");
+    std::fs::write(&bad, "@TASK_GRAPH 0 {\n    BOGUS 1\n}\n").expect("write");
+    let out = momsynth(&["convert", bad.to_str().expect("utf-8")]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("line 2"), "{}", stderr(&out));
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn synth_on_missing_file_fails_cleanly() {
+    let out = momsynth(&["synth", "/nonexistent/system.json", "--quick"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"));
+}
+
+#[test]
+fn generate_freeform_respects_modes() {
+    let path = tmp_file("freeform.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let out = momsynth(&["generate", "--seed", "5", "--modes", "3", "-o", path_str]);
+    assert!(out.status.success());
+    let system: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("written")).expect("JSON");
+    assert_eq!(system["omsm"]["modes"].as_array().expect("modes array").len(), 3);
+    std::fs::remove_file(&path).ok();
+}

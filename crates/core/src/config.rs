@@ -1,0 +1,182 @@
+//! Configuration of the co-synthesis flow.
+
+use momsynth_dvs::DvsOptions;
+use momsynth_ga::GaConfig;
+use momsynth_sched::SchedulerOptions;
+
+use crate::alloc::AllocOptions;
+use crate::local_search::LocalSearchOptions;
+
+/// Weights of the penalty terms in the mapping fitness `F_M`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PenaltyWeights {
+    /// Weight of the timing penalty (`tp`): per unit of lateness relative
+    /// to the mode period.
+    pub timing: f64,
+    /// `w_A`: weight of the area penalty, applied per percent of area
+    /// overshoot (the paper's `(a_U − a_max)/(a_max · 0.01)` term).
+    pub area: f64,
+    /// `w_R`: weight of the transition-time penalty, applied per violating
+    /// transition's overrun ratio.
+    pub transition: f64,
+    /// Extra multiplicative factor applied once to any candidate with at
+    /// least one constraint violation. The paper's purely relative
+    /// penalties can let a massively cheaper infeasible mapping outrank a
+    /// feasible one (e.g. area-violating all-hardware mappings three
+    /// orders of magnitude below any software alternative); this boost
+    /// keeps the search ordered among infeasible candidates while
+    /// guaranteeing that feasible candidates dominate. Set to `1.0` to
+    /// reproduce the paper's formula verbatim.
+    pub infeasibility_boost: f64,
+}
+
+impl Default for PenaltyWeights {
+    fn default() -> Self {
+        Self { timing: 20.0, area: 0.5, transition: 2.0, infeasibility_boost: 1e6 }
+    }
+}
+
+/// DVS settings used inside the synthesis loop.
+///
+/// Fitness evaluation runs thousands of voltage-scaling passes, so it uses
+/// a coarse slack quantum; the final best solution is re-scaled with a
+/// fine quantum before reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvsSynthesisOptions {
+    /// Coarse options used for every fitness evaluation.
+    pub eval: DvsOptions,
+    /// Fine options used once, on the final best solution.
+    pub refine: DvsOptions,
+}
+
+impl Default for DvsSynthesisOptions {
+    fn default() -> Self {
+        Self {
+            eval: DvsOptions { quantum_divisor: 24.0, max_iterations: 4_000, scale_hw: true },
+            refine: DvsOptions::fine(),
+        }
+    }
+}
+
+impl DvsSynthesisOptions {
+    /// DVS restricted to software PEs (ablation D3).
+    pub fn software_only() -> Self {
+        let mut o = Self::default();
+        o.eval.scale_hw = false;
+        o.refine.scale_hw = false;
+        o
+    }
+}
+
+/// Complete configuration of a synthesis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisConfig {
+    /// Genetic-algorithm engine settings.
+    pub ga: GaConfig,
+    /// Optimise with the true mode execution probabilities (the paper's
+    /// proposal). When `false`, the optimiser weights all modes uniformly
+    /// — the baseline both result tables compare against. The *reported*
+    /// power always uses the true probabilities.
+    pub probability_aware: bool,
+    /// Voltage scaling; `None` synthesises a fixed-voltage implementation
+    /// (Table 1), `Some` enables DVS (Table 2).
+    pub dvs: Option<DvsSynthesisOptions>,
+    /// Penalty weights of the fitness function.
+    pub weights: PenaltyWeights,
+    /// Hardware core allocation options.
+    pub alloc: AllocOptions,
+    /// List-scheduler options.
+    pub scheduler: SchedulerOptions,
+    /// Apply the paper's four improvement mutation operators (design
+    /// decision D2; disable for the ablation).
+    pub improvement_operators: bool,
+    /// First-improvement local search applied to the GA's winner before
+    /// the final refinement (memetic polish; set `max_passes` to 0 to
+    /// disable).
+    pub local_search: LocalSearchOptions,
+}
+
+impl SynthesisConfig {
+    /// The default configuration with the given GA seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            ga: GaConfig { seed, ..GaConfig::default() },
+            probability_aware: true,
+            dvs: None,
+            weights: PenaltyWeights::default(),
+            alloc: AllocOptions::default(),
+            scheduler: SchedulerOptions::default(),
+            improvement_operators: true,
+            local_search: LocalSearchOptions::default(),
+        }
+    }
+
+    /// A small/fast configuration for examples and tests.
+    pub fn fast_preset(seed: u64) -> Self {
+        let mut cfg = Self::new(seed);
+        cfg.ga.population_size = 20;
+        cfg.ga.max_generations = 40;
+        cfg.ga.stagnation_limit = 12;
+        cfg.local_search = LocalSearchOptions { max_passes: 1 };
+        cfg
+    }
+
+    /// Enables DVS with default synthesis options.
+    #[must_use]
+    pub fn with_dvs(mut self) -> Self {
+        self.dvs = Some(DvsSynthesisOptions::default());
+        self
+    }
+
+    /// Switches to the probability-neglecting baseline (uniform mode
+    /// weights during optimisation).
+    #[must_use]
+    pub fn probability_neglecting(mut self) -> Self {
+        self.probability_aware = false;
+        self
+    }
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = SynthesisConfig::default();
+        assert!(cfg.probability_aware);
+        assert!(cfg.dvs.is_none());
+        assert!(cfg.improvement_operators);
+        assert!(cfg.weights.timing > 0.0);
+    }
+
+    #[test]
+    fn builder_helpers_compose() {
+        let cfg = SynthesisConfig::new(7).with_dvs().probability_neglecting();
+        assert_eq!(cfg.ga.seed, 7);
+        assert!(cfg.dvs.is_some());
+        assert!(!cfg.probability_aware);
+    }
+
+    #[test]
+    fn fast_preset_is_smaller() {
+        let fast = SynthesisConfig::fast_preset(0);
+        let full = SynthesisConfig::new(0);
+        assert!(fast.ga.population_size < full.ga.population_size);
+        assert!(fast.ga.max_generations < full.ga.max_generations);
+    }
+
+    #[test]
+    fn software_only_dvs_disables_hw_scaling() {
+        let o = DvsSynthesisOptions::software_only();
+        assert!(!o.eval.scale_hw);
+        assert!(!o.refine.scale_hw);
+        assert!(DvsSynthesisOptions::default().eval.scale_hw);
+    }
+}

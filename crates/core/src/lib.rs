@@ -1,0 +1,59 @@
+//! Energy-efficient co-synthesis for multi-mode embedded systems.
+//!
+//! This crate implements the primary contribution of the DATE 2003 paper
+//! *“A Co-Design Methodology for Energy-Efficient Multi-Mode Embedded
+//! Systems with Consideration of Mode Execution Probabilities”*: a
+//! GA-based task-mapping and core-allocation loop whose fitness is the
+//! probability-weighted average power of the candidate implementation,
+//! multiplied by timing, area and mode-transition penalty factors, and
+//! steered by four domain-specific improvement operators.
+//!
+//! The flow (paper Fig. 4):
+//!
+//! 1. encode every task of every mode as a locus over its candidate PEs
+//!    ([`GenomeLayout`]);
+//! 2. for each individual: derive the hardware core allocation with
+//!    mobility-driven replication ([`derive_allocation`]), schedule each
+//!    mode (inner loop, `momsynth-sched`), optionally voltage-scale
+//!    (`momsynth-dvs`), and price the result ([`Evaluator`]);
+//! 3. evolve with tournament selection, two-point crossover and the four
+//!    improvement mutations ([`improve`]);
+//! 4. refine the winner with fine-grained DVS ([`Synthesizer::run`]).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use momsynth_core::{SynthesisConfig, Synthesizer};
+//! # fn get_system() -> momsynth_model::System { unimplemented!() }
+//!
+//! let system = get_system();
+//! let config = SynthesisConfig::new(42).with_dvs();
+//! let result = Synthesizer::new(&system, config).run();
+//! println!(
+//!     "best: {:.4} mW ({} generations, feasible: {})",
+//!     result.best.power.average.as_milli(),
+//!     result.generations,
+//!     result.best.is_feasible(),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alloc;
+pub mod config;
+pub mod fitness;
+pub mod genome;
+pub mod improve;
+pub mod local_search;
+pub mod synthesis;
+pub mod transition;
+
+pub use alloc::{derive_allocation, AllocOptions};
+pub use config::{DvsSynthesisOptions, PenaltyWeights, SynthesisConfig};
+pub use fitness::{AreaOverrun, Evaluator, Solution};
+pub use genome::{Gene, GenomeLayout};
+pub use improve::{improve_random, ImprovementOp};
+pub use local_search::{polish, LocalSearchOptions, LocalSearchStats};
+pub use synthesis::{SynthesisResult, Synthesizer};
+pub use transition::{transition_timings, TransitionTiming};

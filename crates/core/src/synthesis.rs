@@ -1,0 +1,320 @@
+//! The co-synthesis driver: the paper's nested two-loop optimisation.
+//!
+//! The outer loop (the GA over multi-mode mapping strings, Fig. 4)
+//! optimises task mapping and core allocation; the inner loop
+//! (list scheduling + communication mapping + PV-DVS) constructs the rest
+//! of each implementation candidate. [`Synthesizer::run`] wires the
+//! [`GenomeLayout`], [`Evaluator`] and improvement operators into the
+//! generic GA engine and refines the winning candidate with fine-grained
+//! voltage scaling.
+
+use std::time::{Duration, Instant};
+
+use rand::{Rng, RngCore};
+
+use momsynth_ga::{GaConfig, GaProblem};
+use momsynth_model::System;
+
+use crate::config::SynthesisConfig;
+use crate::fitness::{Evaluator, Solution};
+use crate::genome::{Gene, GenomeLayout};
+use crate::improve::improve_random;
+use crate::local_search::{polish, LocalSearchOptions};
+
+/// The outcome of a synthesis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisResult {
+    /// The best implementation found, refined with fine-grained DVS.
+    pub best: Solution,
+    /// Generations executed by the GA.
+    pub generations: usize,
+    /// Fitness evaluations performed.
+    pub evaluations: usize,
+    /// Best fitness after each generation.
+    pub history: Vec<f64>,
+    /// Wall-clock optimisation time.
+    pub wall_time: Duration,
+}
+
+/// Multi-mode mapping as a [`GaProblem`].
+#[derive(Debug)]
+struct MappingProblem<'a> {
+    layout: &'a GenomeLayout,
+    evaluator: &'a Evaluator<'a>,
+    system: &'a System,
+    config: &'a SynthesisConfig,
+}
+
+impl GaProblem for MappingProblem<'_> {
+    type Gene = Gene;
+
+    fn genome_len(&self) -> usize {
+        self.layout.len()
+    }
+
+    fn random_gene(&self, locus: usize, rng: &mut dyn RngCore) -> Gene {
+        rng.gen_range(0..self.layout.candidates(locus).len()) as Gene
+    }
+
+    fn cost(&self, genome: &[Gene]) -> f64 {
+        let mapping = self.layout.decode(genome);
+        let dvs = self.config.dvs.as_ref().map(|d| d.eval);
+        match self.evaluator.evaluate(mapping, dvs.as_ref()) {
+            Ok(solution) => solution.fitness,
+            // Unroutable mapping (incomplete communication topology):
+            // effectively reject the individual.
+            Err(_) => f64::MAX / 4.0,
+        }
+    }
+
+    fn improve(&self, genome: &mut [Gene], rng: &mut dyn RngCore) {
+        improve_random(self.system, self.layout, genome, rng);
+    }
+
+    /// Seed the population with the trivial all-software mapping (every
+    /// task on its lowest-index software candidate). This keeps scarce
+    /// hardware area from being squandered by random rare-mode genes and
+    /// gives selection a clean baseline to add hardware onto — a small,
+    /// documented deviation from the paper's purely random initialisation.
+    fn seeds(&self) -> Vec<Vec<Gene>> {
+        let genome = (0..self.layout.len())
+            .map(|l| {
+                self.layout
+                    .candidates(l)
+                    .iter()
+                    .position(|&pe| self.system.arch().pe(pe).kind().is_software())
+                    .unwrap_or(0) as Gene
+            })
+            .collect();
+        vec![genome]
+    }
+}
+
+/// Runs the paper's co-synthesis on one system.
+#[derive(Debug)]
+pub struct Synthesizer<'a> {
+    system: &'a System,
+    config: SynthesisConfig,
+}
+
+impl<'a> Synthesizer<'a> {
+    /// Creates a synthesizer for `system` under `config`.
+    pub fn new(system: &'a System, config: SynthesisConfig) -> Self {
+        Self { system, config }
+    }
+
+    /// The configuration this synthesizer runs with.
+    pub fn config(&self) -> &SynthesisConfig {
+        &self.config
+    }
+
+    /// Runs the GA and returns the refined best implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the best genome cannot be scheduled — impossible for
+    /// architectures where every PE pair hosting communicating tasks is
+    /// connected, because the genome only uses library-supported PEs and
+    /// the GA rejects unroutable candidates with a huge cost (a fully
+    /// disconnected architecture where *every* candidate is unroutable is
+    /// a specification error).
+    pub fn run(&self) -> SynthesisResult {
+        let start = Instant::now();
+        let layout = GenomeLayout::new(self.system);
+        let evaluator = Evaluator::new(self.system, &self.config);
+        let mut ga_config: GaConfig = self.config.ga;
+        if !self.config.improvement_operators {
+            ga_config.improvement_rate = 0.0;
+        }
+        let problem = MappingProblem {
+            layout: &layout,
+            evaluator: &evaluator,
+            system: self.system,
+            config: &self.config,
+        };
+        let outcome = momsynth_ga::run(&problem, &ga_config);
+
+        // Memetic polish: single-gene first-improvement sweeps remove the
+        // drift artefacts evolution under skewed weights leaves behind.
+        let mut genes = outcome.best.clone();
+        let mut evaluations = outcome.evaluations;
+        if self.config.local_search != (LocalSearchOptions { max_passes: 0 }) {
+            let dvs_eval = self.config.dvs.as_ref().map(|d| d.eval);
+            let stats = polish(
+                &evaluator,
+                &layout,
+                &mut genes,
+                dvs_eval.as_ref(),
+                &self.config.local_search,
+                ga_config.seed,
+            );
+            evaluations += stats.evaluations;
+        }
+
+        let mapping = layout.decode(&genes);
+        let refine = self.config.dvs.as_ref().map(|d| d.refine);
+        let best = evaluator
+            .evaluate(mapping, refine.as_ref())
+            .expect("best genome is schedulable");
+
+        SynthesisResult {
+            best,
+            generations: outcome.generations,
+            evaluations,
+            history: outcome.history,
+            wall_time: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use momsynth_model::ids::{ModeId, PeId};
+    use momsynth_model::units::{Cells, Seconds, Volts, Watts};
+    use momsynth_model::{
+        ArchitectureBuilder, Cl, DvsCapability, Implementation, OmsmBuilder, Pe, PeKind,
+        TaskGraphBuilder, TechLibraryBuilder,
+    };
+
+    /// A two-mode system with skewed probabilities where the optimal
+    /// probability-aware mapping is known by construction: the common mode
+    /// should run entirely in software so that ASIC and bus shut down.
+    fn skewed_system() -> System {
+        let mut tech = TechLibraryBuilder::new();
+        let ta = tech.add_type("A");
+        let tb = tech.add_type("B");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::from_milli(0.1)));
+        let hw = arch.add_pe(Pe::hardware(
+            "hw",
+            PeKind::Asic,
+            Cells::new(600),
+            Watts::from_milli(4.0),
+        ));
+        arch.add_cl(Cl::bus(
+            "bus",
+            vec![cpu, hw],
+            Seconds::from_micros(1.0),
+            Watts::from_milli(1.0),
+            Watts::from_milli(0.5),
+        ))
+        .unwrap();
+        for ty in [ta, tb] {
+            tech.set_impl(
+                ty,
+                cpu,
+                Implementation::software(Seconds::from_millis(5.0), Watts::from_milli(30.0)),
+            );
+            tech.set_impl(
+                ty,
+                hw,
+                Implementation::hardware(
+                    Seconds::from_millis(0.5),
+                    Watts::from_milli(1.0),
+                    Cells::new(240),
+                ),
+            );
+        }
+        let mk = |name: &str, ty| {
+            let mut g = TaskGraphBuilder::new(name, Seconds::from_millis(100.0));
+            let x = g.add_task("x", ty);
+            let y = g.add_task("y", ty);
+            g.add_comm(x, y, 10.0).unwrap();
+            g.build().unwrap()
+        };
+        let mut omsm = OmsmBuilder::new();
+        let m0 = omsm.add_mode("rare", 0.05, mk("rare", ta));
+        let m1 = omsm.add_mode("common", 0.95, mk("common", tb));
+        omsm.add_transition(m0, m1, Seconds::from_millis(10.0)).unwrap();
+        omsm.add_transition(m1, m0, Seconds::from_millis(10.0)).unwrap();
+        System::new("skewed", omsm.build().unwrap(), arch.build().unwrap(), tech.build())
+            .unwrap()
+    }
+
+    #[test]
+    fn synthesis_finds_feasible_low_power_solution() {
+        let system = skewed_system();
+        let result = Synthesizer::new(&system, SynthesisConfig::fast_preset(1)).run();
+        assert!(result.best.is_feasible(), "best must be feasible");
+        assert!(result.generations > 0);
+        assert!(result.evaluations > 0);
+        // The common mode must end up pure software so the ASIC and bus
+        // power down during 95% of operation.
+        let active = result.best.mapping.active_pes(ModeId::new(1));
+        assert_eq!(active, vec![PeId::new(0)], "common mode should shut the ASIC down");
+    }
+
+    #[test]
+    fn probability_aware_beats_neglecting_on_skewed_systems() {
+        let system = skewed_system();
+        // Average over a few seeds to smooth GA noise.
+        let runs = 3;
+        let avg = |aware: bool| -> f64 {
+            (0..runs)
+                .map(|seed| {
+                    let mut cfg = SynthesisConfig::fast_preset(seed);
+                    cfg.probability_aware = aware;
+                    Synthesizer::new(&system, cfg).run().best.power.average.value()
+                })
+                .sum::<f64>()
+                / runs as f64
+        };
+        let aware = avg(true);
+        let neglect = avg(false);
+        assert!(
+            aware <= neglect * 1.001,
+            "probability-aware {aware} should not lose to neglecting {neglect}"
+        );
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let system = skewed_system();
+        let cfg = SynthesisConfig::fast_preset(3);
+        let a = Synthesizer::new(&system, cfg.clone()).run();
+        let b = Synthesizer::new(&system, cfg).run();
+        assert_eq!(a.best.mapping, b.best.mapping);
+        assert_eq!(a.best.fitness, b.best.fitness);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn dvs_synthesis_reduces_power_further() {
+        let mut tech = TechLibraryBuilder::new();
+        let ta = tech.add_type("A");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch.add_pe(
+            Pe::software("cpu", PeKind::Gpp, Watts::from_milli(0.1)).with_dvs(
+                DvsCapability::new(
+                    Volts::new(3.3),
+                    Volts::new(0.8),
+                    vec![Volts::new(1.2), Volts::new(2.1), Volts::new(3.3)],
+                ),
+            ),
+        );
+        tech.set_impl(
+            ta,
+            cpu,
+            Implementation::software(Seconds::from_millis(10.0), Watts::from_milli(100.0)),
+        );
+        let mut g = TaskGraphBuilder::new("m", Seconds::from_millis(100.0));
+        g.add_task("x", ta);
+        g.add_task("y", ta);
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        let system =
+            System::new("s", omsm.build().unwrap(), arch.build().unwrap(), tech.build()).unwrap();
+
+        let fixed = Synthesizer::new(&system, SynthesisConfig::fast_preset(0)).run();
+        let dvs =
+            Synthesizer::new(&system, SynthesisConfig::fast_preset(0).with_dvs()).run();
+        assert!(
+            dvs.best.power.average < fixed.best.power.average,
+            "DVS {} must beat fixed voltage {}",
+            dvs.best.power.average,
+            fixed.best.power.average
+        );
+        assert!(dvs.best.is_feasible());
+    }
+}

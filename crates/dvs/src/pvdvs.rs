@@ -1,0 +1,823 @@
+//! PV-DVS: power-variation-driven voltage scaling on a static schedule.
+//!
+//! This is the voltage-scaling substrate of the paper's reference \[10\] extended, as in
+//! the paper's Section 4.2, to hardware components: given a mode's static
+//! [`Schedule`], the scaler distributes the schedule's slack over the
+//! scalable activities, always giving the next time quantum to the
+//! activity whose extension saves the most energy, then snaps each
+//! extension to the PE's discrete supply levels.
+//!
+//! The constraint graph is rebuilt from the schedule itself: precedence
+//! edges from the task graph (through remote communications where they
+//! exist) plus resource-order edges from the per-resource sequences.
+//! Activities on single-rail DVS hardware are first merged into virtual
+//! tasks (see [`crate::hw_transform`]) so all cores scale together.
+
+use std::collections::BTreeSet;
+
+use momsynth_model::arch::DvsCapability;
+use momsynth_model::ids::{CommId, TaskId};
+use momsynth_model::units::{Joules, Seconds};
+use momsynth_model::System;
+use momsynth_sched::{ActivityId, Schedule, ScheduledComm, ScheduledTask};
+
+use crate::hw_transform::virtual_tasks;
+use crate::voltage::VoltageModel;
+use crate::vschedule::VoltageSchedule;
+
+/// Options controlling the PV-DVS scaler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvsOptions {
+    /// Slack is distributed in quanta of `period / quantum_divisor`.
+    /// Larger divisors approximate the continuous optimum more closely at
+    /// higher cost; the synthesis loop uses a coarse divisor and re-scales
+    /// the final solution finely.
+    pub quantum_divisor: f64,
+    /// Hard cap on greedy iterations (safety valve).
+    pub max_iterations: usize,
+    /// Scale single-rail hardware PEs through the virtual-task
+    /// transformation (the paper's extension). Disable for the D3
+    /// ablation, which scales software PEs only.
+    pub scale_hw: bool,
+}
+
+impl Default for DvsOptions {
+    fn default() -> Self {
+        Self { quantum_divisor: 50.0, max_iterations: 20_000, scale_hw: true }
+    }
+}
+
+impl DvsOptions {
+    /// A fine-grained configuration for re-scaling a final solution.
+    pub fn fine() -> Self {
+        Self { quantum_divisor: 400.0, max_iterations: 200_000, scale_hw: true }
+    }
+}
+
+/// The result of voltage-scaling one mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaledMode {
+    schedule: Schedule,
+    task_voltages: Vec<Option<VoltageSchedule>>,
+    task_energy_factors: Vec<f64>,
+    iterations: usize,
+}
+
+impl ScaledMode {
+    /// The stretched schedule (same mapping and resource order, new start
+    /// times and execution times).
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The voltage schedule derived for `task`, or `None` if the task was
+    /// not scaled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn task_voltage(&self, task: TaskId) -> Option<&VoltageSchedule> {
+        self.task_voltages[task.index()].as_ref()
+    }
+
+    /// The dynamic-energy factor of `task` relative to nominal execution
+    /// (`1.0` for unscaled tasks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn energy_factor(&self, task: TaskId) -> f64 {
+        self.task_energy_factors[task.index()]
+    }
+
+    /// All per-task energy factors, indexed by task id.
+    pub fn energy_factors(&self) -> &[f64] {
+        &self.task_energy_factors
+    }
+
+    /// Number of greedy extension steps performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Total nominal and scaled dynamic task energy of the mode — the
+    /// before/after view of the scaling pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `system` is not the system this mode was scaled for.
+    pub fn energy_summary(&self, system: &System) -> EnergySummary {
+        let graph = system.omsm().mode(self.schedule.mode()).graph();
+        let mut nominal = momsynth_model::units::Joules::ZERO;
+        let mut scaled = momsynth_model::units::Joules::ZERO;
+        for entry in self.schedule.tasks() {
+            let e = system
+                .tech()
+                .impl_of(graph.task(entry.task).task_type(), entry.pe)
+                .expect("scheduled task has an implementation")
+                .energy();
+            nominal += e;
+            scaled += e * self.task_energy_factors[entry.task.index()];
+        }
+        EnergySummary { nominal, scaled }
+    }
+}
+
+/// Before/after dynamic task energy of a scaled mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergySummary {
+    /// Energy at nominal voltage.
+    pub nominal: momsynth_model::units::Joules,
+    /// Energy after voltage scaling.
+    pub scaled: momsynth_model::units::Joules,
+}
+
+impl EnergySummary {
+    /// Fraction of the nominal energy saved, in `[0, 1)`.
+    pub fn saving(&self) -> f64 {
+        if self.nominal.value() <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.scaled / self.nominal
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GroupMember {
+    task: TaskId,
+    rel_start: Seconds,
+    nominal: Seconds,
+}
+
+#[derive(Debug, Clone)]
+enum UnitPayload {
+    Task(TaskId),
+    Comm(CommId),
+    Group { members: Vec<GroupMember> },
+}
+
+#[derive(Debug, Clone)]
+struct ScaleInfo {
+    cap: DvsCapability,
+    model: VoltageModel,
+    energy: Joules,
+    max_stretch: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Unit {
+    payload: UnitPayload,
+    deadline: Seconds,
+    nominal: Seconds,
+    dur: Seconds,
+    scale: Option<ScaleInfo>,
+}
+
+/// Applies PV-DVS to one mode's schedule.
+///
+/// Tasks on DVS-enabled software PEs are scaled individually; tasks on
+/// DVS-enabled hardware PEs are scaled together through the virtual-task
+/// transformation (unless `options.scale_hw` is off). Remote
+/// communications and tasks on fixed-voltage PEs keep their nominal
+/// timing. The scaler never violates task deadlines or the mode's
+/// hyper-period; on a schedule that already misses deadlines it simply
+/// finds no slack and returns nominal timing.
+pub fn scale_mode(system: &System, schedule: &Schedule, options: &DvsOptions) -> ScaledMode {
+    scale_mode_inner(system, schedule, options, options.scale_hw)
+}
+
+fn scale_mode_inner(
+    system: &System,
+    schedule: &Schedule,
+    options: &DvsOptions,
+    allow_groups: bool,
+) -> ScaledMode {
+    let graph = system.omsm().mode(schedule.mode()).graph();
+    let period = graph.period();
+    let n = graph.task_count();
+
+    // ---- Build units -----------------------------------------------------
+    let mut units: Vec<Unit> = Vec::new();
+    let mut task_unit = vec![usize::MAX; n];
+    let mut comm_unit: Vec<Option<usize>> = vec![None; graph.comm_count()];
+
+    if allow_groups {
+        for pe in system.arch().dvs_pes().collect::<Vec<_>>() {
+            if !system.arch().pe(pe).kind().is_hardware() {
+                continue;
+            }
+            let cap = system.arch().pe(pe).dvs().expect("dvs_pes yields DVS PEs").clone();
+            let model = VoltageModel::from_capability(&cap);
+            let max_stretch = model.max_stretch(cap.v_min());
+            for group in virtual_tasks(system, schedule, pe) {
+                let idx = units.len();
+                let mut deadline = period;
+                let members: Vec<GroupMember> = group
+                    .members
+                    .iter()
+                    .map(|&t| {
+                        deadline = deadline.min(graph.effective_deadline(t));
+                        let e = schedule.task(t);
+                        GroupMember {
+                            task: t,
+                            rel_start: e.start - group.start,
+                            nominal: e.exec_time,
+                        }
+                    })
+                    .collect();
+                for m in &members {
+                    task_unit[m.task.index()] = idx;
+                }
+                units.push(Unit {
+                    payload: UnitPayload::Group { members },
+                    deadline,
+                    nominal: group.duration(),
+                    dur: group.duration(),
+                    scale: Some(ScaleInfo {
+                        cap: cap.clone(),
+                        model,
+                        energy: group.energy,
+                        max_stretch,
+                    }),
+                });
+            }
+        }
+    }
+
+    for entry in schedule.tasks() {
+        let t = entry.task;
+        if task_unit[t.index()] != usize::MAX {
+            continue;
+        }
+        let pe_info = system.arch().pe(entry.pe);
+        let scale = match pe_info.dvs() {
+            Some(cap) if pe_info.kind().is_software() => {
+                let model = VoltageModel::from_capability(cap);
+                let energy = system
+                    .tech()
+                    .impl_of(graph.task(t).task_type(), entry.pe)
+                    .expect("scheduled task has an implementation")
+                    .energy();
+                Some(ScaleInfo {
+                    cap: cap.clone(),
+                    model,
+                    energy,
+                    max_stretch: model.max_stretch(cap.v_min()),
+                })
+            }
+            _ => None,
+        };
+        let idx = units.len();
+        task_unit[t.index()] = idx;
+        units.push(Unit {
+            payload: UnitPayload::Task(t),
+            deadline: graph.effective_deadline(t),
+            nominal: entry.exec_time,
+            dur: entry.exec_time,
+            scale,
+        });
+    }
+
+    for entry in schedule.remote_comms() {
+        let idx = units.len();
+        comm_unit[entry.comm.index()] = Some(idx);
+        units.push(Unit {
+            payload: UnitPayload::Comm(entry.comm),
+            deadline: period,
+            nominal: entry.duration,
+            dur: entry.duration,
+            scale: None,
+        });
+    }
+
+    // ---- Constraint edges -------------------------------------------------
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (c, edge) in graph.comms() {
+        let su = task_unit[edge.src().index()];
+        let du = task_unit[edge.dst().index()];
+        match comm_unit[c.index()] {
+            Some(cu) => {
+                if su != cu {
+                    edges.insert((su, cu));
+                }
+                if cu != du {
+                    edges.insert((cu, du));
+                }
+            }
+            None => {
+                if su != du {
+                    edges.insert((su, du));
+                }
+            }
+        }
+    }
+    for (_, acts) in schedule.sequences() {
+        for pair in acts.windows(2) {
+            let ua = activity_unit(pair[0], &task_unit, &comm_unit);
+            let ub = activity_unit(pair[1], &task_unit, &comm_unit);
+            if ua != ub {
+                edges.insert((ua, ub));
+            }
+        }
+    }
+
+    // ---- Topological order (Kahn). Virtual-task merging can, in rare
+    // interleavings, create cycles; fall back to group-free scaling then.
+    let topo = match topo_order(units.len(), &edges) {
+        Some(order) => order,
+        None => {
+            debug_assert!(allow_groups, "group-free unit graph must be acyclic");
+            return scale_mode_inner(system, schedule, options, false);
+        }
+    };
+    let succs: Vec<Vec<usize>> = {
+        let mut s = vec![Vec::new(); units.len()];
+        for &(a, b) in &edges {
+            s[a].push(b);
+        }
+        s
+    };
+    let preds: Vec<Vec<usize>> = {
+        let mut p = vec![Vec::new(); units.len()];
+        for &(a, b) in &edges {
+            p[b].push(a);
+        }
+        p
+    };
+
+    let forward = |units: &[Unit]| -> (Vec<Seconds>, Vec<Seconds>) {
+        let mut es = vec![Seconds::ZERO; units.len()];
+        let mut ef = vec![Seconds::ZERO; units.len()];
+        for &u in &topo {
+            let start = preds[u].iter().map(|&p| ef[p]).fold(Seconds::ZERO, Seconds::max);
+            es[u] = start;
+            ef[u] = start + units[u].dur;
+        }
+        (es, ef)
+    };
+    let backward = |units: &[Unit]| -> Vec<Seconds> {
+        let mut lf: Vec<Seconds> = units.iter().map(|u| u.deadline).collect();
+        for &u in topo.iter().rev() {
+            for &s in &succs[u] {
+                lf[u] = lf[u].min(lf[s] - units[s].dur);
+            }
+        }
+        lf
+    };
+
+    // ---- Greedy slack distribution ---------------------------------------
+    let quantum = period / options.quantum_divisor.max(1.0);
+    let eps = period * 1e-9;
+    let mut iterations = 0usize;
+    while iterations < options.max_iterations {
+        let (_, ef) = forward(&units);
+        let lf = backward(&units);
+        let mut best: Option<(usize, Seconds, f64)> = None;
+        for (u, unit) in units.iter().enumerate() {
+            let Some(scale) = &unit.scale else { continue };
+            if unit.nominal.value() <= 0.0 {
+                continue;
+            }
+            let slack = lf[u] - ef[u];
+            let room = unit.nominal * scale.max_stretch - unit.dur;
+            let delta = quantum.min(slack).min(room);
+            if delta <= eps {
+                continue;
+            }
+            let k_now = unit.dur / unit.nominal;
+            let k_new = (unit.dur + delta) / unit.nominal;
+            let e_now = scale.energy.value() * scale.model.energy_factor_for_stretch(k_now);
+            let e_new = scale.energy.value() * scale.model.energy_factor_for_stretch(k_new);
+            let gain = (e_now - e_new) / delta.value();
+            if gain > 0.0 && best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((u, delta, gain));
+            }
+        }
+        let Some((u, delta, _)) = best else { break };
+        units[u].dur += delta;
+        iterations += 1;
+    }
+
+    // ---- Snap to discrete levels and rebuild the schedule -----------------
+    let mut task_voltages: Vec<Option<VoltageSchedule>> = vec![None; n];
+    let mut task_factors = vec![1.0f64; n];
+    let mut new_tasks: Vec<ScheduledTask> =
+        schedule.tasks().cloned().collect::<Vec<_>>();
+    new_tasks.sort_by_key(|e| e.task);
+    let mut new_comms: Vec<Option<ScheduledComm>> =
+        graph.comm_ids().map(|c| schedule.comm(c).cloned()).collect();
+
+    // First pass: apply snapped durations so the final forward pass uses
+    // realised (discrete) times.
+    for unit in &mut units {
+        let Some(scale) = &unit.scale else { continue };
+        if unit.dur.value() <= unit.nominal.value() * (1.0 + 1e-12) {
+            unit.dur = unit.nominal;
+            continue;
+        }
+        let vs = VoltageSchedule::fit(&scale.cap, &scale.model, unit.nominal, unit.dur);
+        unit.dur = vs.total_time();
+    }
+    let (es, _) = forward(&units);
+
+    for (u, unit) in units.iter().enumerate() {
+        match &unit.payload {
+            UnitPayload::Task(t) => {
+                let entry = &mut new_tasks[t.index()];
+                entry.start = es[u];
+                if let Some(scale) = &unit.scale {
+                    let vs =
+                        VoltageSchedule::fit(&scale.cap, &scale.model, unit.nominal, unit.dur);
+                    entry.exec_time = vs.total_time();
+                    task_factors[t.index()] = vs.energy_factor(&scale.model);
+                    task_voltages[t.index()] = Some(vs);
+                }
+            }
+            UnitPayload::Comm(c) => {
+                let entry = new_comms[c.index()]
+                    .as_mut()
+                    .expect("comm unit exists only for remote comms");
+                entry.start = es[u];
+            }
+            UnitPayload::Group { members, .. } => {
+                let scale = unit.scale.as_ref().expect("groups are always scalable");
+                let k = if unit.nominal.value() > 0.0 { unit.dur / unit.nominal } else { 1.0 };
+                for m in members {
+                    let entry = &mut new_tasks[m.task.index()];
+                    entry.start = es[u] + m.rel_start * k;
+                    let vs = VoltageSchedule::fit(
+                        &scale.cap,
+                        &scale.model,
+                        m.nominal,
+                        m.nominal * k,
+                    );
+                    entry.exec_time = vs.total_time();
+                    task_factors[m.task.index()] = vs.energy_factor(&scale.model);
+                    task_voltages[m.task.index()] = Some(vs);
+                }
+            }
+        }
+    }
+
+    let new_schedule = Schedule::from_parts(
+        schedule.mode(),
+        new_tasks,
+        new_comms,
+        schedule.sequences().to_vec(),
+    );
+    ScaledMode {
+        schedule: new_schedule,
+        task_voltages,
+        task_energy_factors: task_factors,
+        iterations,
+    }
+}
+
+fn activity_unit(
+    act: ActivityId,
+    task_unit: &[usize],
+    comm_unit: &[Option<usize>],
+) -> usize {
+    match act {
+        ActivityId::Task(t) => task_unit[t.index()],
+        ActivityId::Comm(c) => {
+            comm_unit[c.index()].expect("sequences only contain scheduled remote comms")
+        }
+    }
+}
+
+fn topo_order(n: usize, edges: &BTreeSet<(usize, usize)>) -> Option<Vec<usize>> {
+    let mut indegree = vec![0usize; n];
+    let mut succs = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        indegree[b] += 1;
+        succs[a].push(b);
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        order.push(u);
+        for &s in &succs[u] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use momsynth_model::ids::{ModeId, PeId};
+    use momsynth_model::units::{Cells, Volts, Watts};
+    use momsynth_model::{
+        ArchitectureBuilder, Cl, DvsCapability, Implementation, OmsmBuilder, Pe, PeKind,
+        TaskGraphBuilder, TechLibraryBuilder,
+    };
+    use momsynth_sched::{
+        schedule_mode, CoreAllocation, SchedulerOptions, SystemMapping,
+    };
+
+    fn dvs_cap() -> DvsCapability {
+        DvsCapability::new(
+            Volts::new(3.3),
+            Volts::new(0.8),
+            vec![Volts::new(1.2), Volts::new(1.8), Volts::new(2.4), Volts::new(3.3)],
+        )
+    }
+
+    /// One DVS CPU, one fixed CPU, chain of three 10 ms tasks, 100 ms period.
+    fn sw_system(dvs_on_cpu: bool) -> momsynth_model::System {
+        let mut tech = TechLibraryBuilder::new();
+        let tx = tech.add_type("X");
+        let mut arch = ArchitectureBuilder::new();
+        let mut cpu = Pe::software("cpu", PeKind::Gpp, Watts::from_milli(0.1));
+        if dvs_on_cpu {
+            cpu = cpu.with_dvs(dvs_cap());
+        }
+        let cpu = arch.add_pe(cpu);
+        tech.set_impl(
+            tx,
+            cpu,
+            Implementation::software(Seconds::from_millis(10.0), Watts::from_milli(100.0)),
+        );
+        let mut g = TaskGraphBuilder::new("chain", Seconds::from_millis(100.0));
+        let a = g.add_task("a", tx);
+        let b = g.add_task("b", tx);
+        let c = g.add_task("c", tx);
+        g.add_comm(a, b, 0.0).unwrap();
+        g.add_comm(b, c, 0.0).unwrap();
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        momsynth_model::System::new(
+            "s",
+            omsm.build().unwrap(),
+            arch.build().unwrap(),
+            tech.build(),
+        )
+        .unwrap()
+    }
+
+    fn schedule_of(sys: &momsynth_model::System) -> Schedule {
+        let mapping = SystemMapping::from_fn(sys, |_| PeId::new(0));
+        let alloc = CoreAllocation::minimal(sys, &mapping);
+        schedule_mode(sys, ModeId::new(0), &mapping, &alloc, SchedulerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn slack_is_converted_into_energy_savings() {
+        let sys = sw_system(true);
+        let schedule = schedule_of(&sys);
+        let scaled = scale_mode(&sys, &schedule, &DvsOptions::default());
+        assert!(scaled.iterations() > 0);
+        // 30 ms of work in a 100 ms period: substantial savings expected.
+        for t in 0..3 {
+            let f = scaled.energy_factor(TaskId::new(t));
+            assert!(f < 0.9, "task {t} factor {f}");
+            assert!(f > 0.0);
+            assert!(scaled.task_voltage(TaskId::new(t)).is_some());
+        }
+        // The stretched schedule still meets the period.
+        let graph = sys.omsm().mode(ModeId::new(0)).graph();
+        assert!(scaled.schedule().is_timing_feasible(graph));
+        // And actually uses most of it.
+        assert!(scaled.schedule().makespan().as_millis() > 60.0);
+    }
+
+    #[test]
+    fn no_dvs_pe_means_no_scaling() {
+        let sys = sw_system(false);
+        let schedule = schedule_of(&sys);
+        let scaled = scale_mode(&sys, &schedule, &DvsOptions::default());
+        assert_eq!(scaled.iterations(), 0);
+        assert_eq!(scaled.energy_factors(), &[1.0, 1.0, 1.0]);
+        assert_eq!(scaled.schedule(), &schedule);
+    }
+
+    #[test]
+    fn zero_slack_schedule_is_untouched() {
+        // Period exactly equals the critical path: nothing to exploit.
+        let mut tech = TechLibraryBuilder::new();
+        let tx = tech.add_type("X");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch
+            .add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO).with_dvs(dvs_cap()));
+        tech.set_impl(
+            tx,
+            cpu,
+            Implementation::software(Seconds::from_millis(10.0), Watts::from_milli(100.0)),
+        );
+        let mut g = TaskGraphBuilder::new("m", Seconds::from_millis(10.0));
+        g.add_task("a", tx);
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        let sys = momsynth_model::System::new(
+            "s",
+            omsm.build().unwrap(),
+            arch.build().unwrap(),
+            tech.build(),
+        )
+        .unwrap();
+        let schedule = schedule_of(&sys);
+        let scaled = scale_mode(&sys, &schedule, &DvsOptions::default());
+        assert_eq!(scaled.energy_factor(TaskId::new(0)), 1.0);
+        assert_eq!(
+            scaled.schedule().task(TaskId::new(0)).exec_time,
+            Seconds::from_millis(10.0)
+        );
+    }
+
+    #[test]
+    fn deadlines_are_respected_after_scaling() {
+        // Chain with a tight mid-deadline: only downstream slack is usable.
+        let mut tech = TechLibraryBuilder::new();
+        let tx = tech.add_type("X");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch
+            .add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO).with_dvs(dvs_cap()));
+        tech.set_impl(
+            tx,
+            cpu,
+            Implementation::software(Seconds::from_millis(10.0), Watts::from_milli(100.0)),
+        );
+        let mut g = TaskGraphBuilder::new("m", Seconds::from_millis(100.0));
+        let a = g.add_task_with_deadline("a", tx, Seconds::from_millis(12.0));
+        let b = g.add_task("b", tx);
+        g.add_comm(a, b, 0.0).unwrap();
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        let sys = momsynth_model::System::new(
+            "s",
+            omsm.build().unwrap(),
+            arch.build().unwrap(),
+            tech.build(),
+        )
+        .unwrap();
+        let schedule = schedule_of(&sys);
+        let scaled = scale_mode(&sys, &schedule, &DvsOptions::fine());
+        let graph = sys.omsm().mode(ModeId::new(0)).graph();
+        assert!(scaled.schedule().is_timing_feasible(graph));
+        // Task a could stretch by at most 20%; task b by far more.
+        let fa = scaled.energy_factor(TaskId::new(0));
+        let fb = scaled.energy_factor(TaskId::new(1));
+        assert!(fa > fb, "a={fa} b={fb}");
+        let a_exec = scaled.schedule().task(TaskId::new(0)).exec_time;
+        assert!(a_exec.as_millis() <= 12.0 + 1e-6);
+    }
+
+    /// DVS-enabled ASIC with two parallel tasks: the rail scales both
+    /// together through the virtual-task transformation.
+    fn hw_system() -> momsynth_model::System {
+        let mut tech = TechLibraryBuilder::new();
+        let t0 = tech.add_type("A");
+        let t1 = tech.add_type("B");
+        let mut arch = ArchitectureBuilder::new();
+        let _cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO));
+        let hw = arch.add_pe(
+            Pe::hardware("hw", PeKind::Asic, Cells::new(1000), Watts::ZERO).with_dvs(dvs_cap()),
+        );
+        arch.add_cl(Cl::bus(
+            "bus",
+            vec![PeId::new(0), hw],
+            Seconds::from_micros(1.0),
+            Watts::ZERO,
+            Watts::ZERO,
+        ))
+        .unwrap();
+        tech.set_impl(
+            t0,
+            hw,
+            Implementation::hardware(
+                Seconds::from_millis(4.0),
+                Watts::from_milli(10.0),
+                Cells::new(100),
+            ),
+        );
+        tech.set_impl(
+            t1,
+            hw,
+            Implementation::hardware(
+                Seconds::from_millis(6.0),
+                Watts::from_milli(20.0),
+                Cells::new(100),
+            ),
+        );
+        let mut g = TaskGraphBuilder::new("m", Seconds::from_millis(60.0));
+        g.add_task("p", t0);
+        g.add_task("q", t1);
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        momsynth_model::System::new(
+            "s",
+            omsm.build().unwrap(),
+            arch.build().unwrap(),
+            tech.build(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hw_rail_scales_parallel_tasks_together() {
+        let sys = hw_system();
+        let mapping = SystemMapping::from_fn(&sys, |_| PeId::new(1));
+        let alloc = CoreAllocation::minimal(&sys, &mapping);
+        let schedule =
+            schedule_mode(&sys, ModeId::new(0), &mapping, &alloc, SchedulerOptions::default())
+                .unwrap();
+        let scaled = scale_mode(&sys, &schedule, &DvsOptions::fine());
+        // Both members of the overlap group stretch by the same factor.
+        let k0 = scaled.schedule().task(TaskId::new(0)).exec_time
+            / schedule.task(TaskId::new(0)).exec_time;
+        let k1 = scaled.schedule().task(TaskId::new(1)).exec_time
+            / schedule.task(TaskId::new(1)).exec_time;
+        assert!(k0 > 1.5);
+        assert!((k0 - k1).abs() < 1e-6, "k0={k0} k1={k1}");
+        assert!((scaled.energy_factor(TaskId::new(0))
+            - scaled.energy_factor(TaskId::new(1)))
+        .abs()
+            < 1e-9);
+        let graph = sys.omsm().mode(ModeId::new(0)).graph();
+        assert!(scaled.schedule().is_timing_feasible(graph));
+    }
+
+    #[test]
+    fn scale_hw_off_leaves_hardware_nominal() {
+        let sys = hw_system();
+        let mapping = SystemMapping::from_fn(&sys, |_| PeId::new(1));
+        let alloc = CoreAllocation::minimal(&sys, &mapping);
+        let schedule =
+            schedule_mode(&sys, ModeId::new(0), &mapping, &alloc, SchedulerOptions::default())
+                .unwrap();
+        let opts = DvsOptions { scale_hw: false, ..DvsOptions::default() };
+        let scaled = scale_mode(&sys, &schedule, &opts);
+        assert_eq!(scaled.energy_factors(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn energy_summary_reports_savings() {
+        let sys = sw_system(true);
+        let schedule = schedule_of(&sys);
+        let scaled = scale_mode(&sys, &schedule, &DvsOptions::fine());
+        let summary = scaled.energy_summary(&sys);
+        // Three 1 mWs tasks nominally.
+        assert!((summary.nominal.as_milli_joules() - 3.0).abs() < 1e-9);
+        assert!(summary.scaled < summary.nominal);
+        assert!(summary.saving() > 0.2);
+        // Unscaled mode: zero saving.
+        let sys2 = sw_system(false);
+        let schedule2 = schedule_of(&sys2);
+        let unscaled = scale_mode(&sys2, &schedule2, &DvsOptions::default());
+        assert_eq!(unscaled.energy_summary(&sys2).saving(), 0.0);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_quantum_resolution() {
+        // Finer quanta should never produce (meaningfully) worse energy.
+        let sys = sw_system(true);
+        let schedule = schedule_of(&sys);
+        let coarse = scale_mode(
+            &sys,
+            &schedule,
+            &DvsOptions { quantum_divisor: 10.0, ..DvsOptions::default() },
+        );
+        let fine = scale_mode(&sys, &schedule, &DvsOptions::fine());
+        let total = |s: &ScaledMode| -> f64 { s.energy_factors().iter().sum() };
+        assert!(total(&fine) <= total(&coarse) + 1e-6);
+    }
+
+    #[test]
+    fn infeasible_schedule_gains_nothing_but_does_not_panic() {
+        // Period shorter than the chain: negative slack everywhere.
+        let mut tech = TechLibraryBuilder::new();
+        let tx = tech.add_type("X");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch
+            .add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO).with_dvs(dvs_cap()));
+        tech.set_impl(
+            tx,
+            cpu,
+            Implementation::software(Seconds::from_millis(10.0), Watts::from_milli(100.0)),
+        );
+        let mut g = TaskGraphBuilder::new("m", Seconds::from_millis(15.0));
+        let a = g.add_task("a", tx);
+        let b = g.add_task("b", tx);
+        g.add_comm(a, b, 0.0).unwrap();
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        let sys = momsynth_model::System::new(
+            "s",
+            omsm.build().unwrap(),
+            arch.build().unwrap(),
+            tech.build(),
+        )
+        .unwrap();
+        let schedule = schedule_of(&sys);
+        let scaled = scale_mode(&sys, &schedule, &DvsOptions::default());
+        assert_eq!(scaled.energy_factors(), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the voltage model and discrete voltage
+//! schedules.
+
+use proptest::prelude::*;
+
+use momsynth_dvs::{VoltageModel, VoltageSchedule};
+use momsynth_model::arch::DvsCapability;
+use momsynth_model::units::{Seconds, Volts};
+
+/// Random physically plausible rail: `0 ≤ v_t < v_min < v_max`.
+fn rail() -> impl Strategy<Value = (Volts, Volts, Vec<Volts>)> {
+    (0.1f64..1.5, 0.2f64..2.0, 0.2f64..3.0, 1usize..6).prop_map(|(vt, gap, span, n_mid)| {
+        let v_t = Volts::new(vt);
+        let v_min = vt + gap;
+        let v_max = v_min + span;
+        let mut levels = vec![Volts::new(v_min), Volts::new(v_max)];
+        for i in 1..n_mid {
+            levels.push(Volts::new(v_min + span * i as f64 / n_mid as f64));
+        }
+        (Volts::new(v_max), v_t, levels)
+    })
+}
+
+proptest! {
+    #[test]
+    fn stretch_and_energy_are_monotone((v_max, v_t, levels) in rail()) {
+        let model = VoltageModel::new(v_max, v_t);
+        let mut sorted = levels.clone();
+        sorted.sort_by(|a, b| a.value().total_cmp(&b.value()));
+        for pair in sorted.windows(2) {
+            prop_assert!(model.stretch(pair[0]) >= model.stretch(pair[1]) - 1e-12);
+            prop_assert!(model.energy_factor(pair[0]) <= model.energy_factor(pair[1]) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn voltage_for_stretch_round_trips((v_max, v_t, _) in rail(), k in 1.0f64..50.0) {
+        let model = VoltageModel::new(v_max, v_t);
+        let v = model.voltage_for_stretch(k);
+        prop_assert!(v.value() > v_t.value());
+        prop_assert!(v.value() <= v_max.value() + 1e-9);
+        let k_back = model.stretch(v);
+        prop_assert!((k_back - k).abs() < 1e-6 * k, "k={k}, back={k_back}");
+    }
+
+    #[test]
+    fn nominal_is_fixed_point((v_max, v_t, _) in rail()) {
+        let model = VoltageModel::new(v_max, v_t);
+        prop_assert!((model.stretch(v_max) - 1.0).abs() < 1e-12);
+        prop_assert!((model.energy_factor(v_max) - 1.0).abs() < 1e-12);
+        prop_assert!((model.voltage_for_stretch(1.0).value() - v_max.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_meets_reachable_targets_exactly(
+        (v_max, v_t, levels) in rail(),
+        t_min_ms in 0.1f64..100.0,
+        frac in 0.0f64..1.0,
+    ) {
+        let cap = DvsCapability::new(v_max, v_t, levels);
+        let model = VoltageModel::from_capability(&cap);
+        let t_min = Seconds::from_millis(t_min_ms);
+        let t_max = t_min * model.max_stretch(cap.v_min());
+        // Any target between t_min and t(v_min) is met exactly.
+        let target = t_min + (t_max - t_min) * frac;
+        let schedule = VoltageSchedule::fit(&cap, &model, t_min, target);
+        prop_assert!(
+            (schedule.total_time() / target - 1.0).abs() < 1e-6,
+            "target {} got {}",
+            target.value(),
+            schedule.total_time().value()
+        );
+        // Cycle fractions always cover the task exactly.
+        let cycles: f64 = schedule.segments().iter().map(|s| s.cycle_fraction).sum();
+        prop_assert!((cycles - 1.0).abs() < 1e-9);
+        // Energy factor within (0, 1].
+        let e = schedule.energy_factor(&model);
+        prop_assert!(e > 0.0 && e <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn fit_saturates_beyond_the_lowest_level(
+        (v_max, v_t, levels) in rail(),
+        t_min_ms in 0.1f64..100.0,
+        surplus in 1.1f64..10.0,
+    ) {
+        let cap = DvsCapability::new(v_max, v_t, levels);
+        let model = VoltageModel::from_capability(&cap);
+        let t_min = Seconds::from_millis(t_min_ms);
+        let t_max = t_min * model.max_stretch(cap.v_min());
+        let schedule = VoltageSchedule::fit(&cap, &model, t_min, t_max * surplus);
+        prop_assert!((schedule.total_time() / t_max - 1.0).abs() < 1e-6);
+        prop_assert_eq!(schedule.min_voltage(), cap.v_min());
+    }
+
+    #[test]
+    fn discrete_energy_never_beats_continuous(
+        (v_max, v_t, levels) in rail(),
+        t_min_ms in 0.1f64..100.0,
+        frac in 0.01f64..0.99,
+    ) {
+        let cap = DvsCapability::new(v_max, v_t, levels);
+        let model = VoltageModel::from_capability(&cap);
+        let t_min = Seconds::from_millis(t_min_ms);
+        let t_max = t_min * model.max_stretch(cap.v_min());
+        let target = t_min + (t_max - t_min) * frac;
+        let schedule = VoltageSchedule::fit(&cap, &model, t_min, target);
+        let k = schedule.total_time() / t_min;
+        prop_assert!(
+            schedule.energy_factor(&model) >= model.energy_factor_for_stretch(k) - 1e-9
+        );
+    }
+
+    #[test]
+    fn more_stretch_never_costs_more_energy(
+        (v_max, v_t, levels) in rail(),
+        t_min_ms in 0.1f64..100.0,
+        f1 in 0.0f64..1.0,
+        f2 in 0.0f64..1.0,
+    ) {
+        let cap = DvsCapability::new(v_max, v_t, levels);
+        let model = VoltageModel::from_capability(&cap);
+        let t_min = Seconds::from_millis(t_min_ms);
+        let t_max = t_min * model.max_stretch(cap.v_min());
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let e_short = VoltageSchedule::fit(&cap, &model, t_min, t_min + (t_max - t_min) * lo)
+            .energy_factor(&model);
+        let e_long = VoltageSchedule::fit(&cap, &model, t_min, t_min + (t_max - t_min) * hi)
+            .energy_factor(&model);
+        prop_assert!(e_long <= e_short + 1e-9, "lo={lo} e={e_short}, hi={hi} e={e_long}");
+    }
+}

@@ -1,0 +1,587 @@
+//! A generic genetic-algorithm engine.
+//!
+//! Implements the optimisation skeleton of the paper's Fig. 4: an initial
+//! random population, cost-ranked tournament selection, two-point
+//! crossover, per-gene mutation, elitism, problem-specific *improvement
+//! operators* (hooks applied to a few individuals per generation, like the
+//! paper's shut-down/area/timing/transition strategies) and a convergence
+//! criterion based on stagnation.
+//!
+//! The engine is domain-agnostic: a [`GaProblem`] supplies the gene type,
+//! the per-locus random gene distribution, the cost function (lower is
+//! better) and optionally the improvement hook. The multi-mode mapping
+//! problem in `momsynth-core` is one instance; the unit tests here use
+//! simple numeric problems.
+//!
+//! # Examples
+//!
+//! ```
+//! use momsynth_ga::{run, GaConfig, GaProblem};
+//! use rand::Rng;
+//!
+//! /// Minimise the number of non-zero genes.
+//! struct AllZeros;
+//!
+//! impl GaProblem for AllZeros {
+//!     type Gene = u8;
+//!     fn genome_len(&self) -> usize { 16 }
+//!     fn random_gene(&self, _locus: usize, rng: &mut dyn rand::RngCore) -> u8 {
+//!         rand::Rng::gen_range(rng, 0..4)
+//!     }
+//!     fn cost(&self, genome: &[u8]) -> f64 {
+//!         genome.iter().filter(|&&g| g != 0).count() as f64
+//!     }
+//! }
+//!
+//! let outcome = run(&AllZeros, &GaConfig { seed: 7, ..GaConfig::default() });
+//! assert_eq!(outcome.best_cost, 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// An optimisation problem over fixed-length genomes.
+pub trait GaProblem {
+    /// The gene type at every locus.
+    type Gene: Clone;
+
+    /// Number of genes in a genome.
+    fn genome_len(&self) -> usize;
+
+    /// Samples a random gene for the given locus; used for initialisation
+    /// and mutation. Loci may have different domains (e.g. per-task
+    /// candidate PE lists).
+    fn random_gene(&self, locus: usize, rng: &mut dyn RngCore) -> Self::Gene;
+
+    /// The cost of a genome; lower is better. Infeasibility is expressed
+    /// through penalty terms, not through rejection.
+    fn cost(&self, genome: &[Self::Gene]) -> f64;
+
+    /// Problem-specific improvement operator, applied to a few individuals
+    /// per generation. The default does nothing.
+    fn improve(&self, genome: &mut [Self::Gene], rng: &mut dyn RngCore) {
+        let _ = (genome, rng);
+    }
+
+    /// Genomes injected into the initial population (e.g. known trivial
+    /// feasible solutions). The default seeds nothing; the engine fills
+    /// the rest of the population randomly.
+    fn seeds(&self) -> Vec<Vec<Self::Gene>> {
+        Vec::new()
+    }
+}
+
+/// Parent-selection scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Selection {
+    /// Tournament over the cost-sorted population: sample `k` individuals,
+    /// take the best.
+    Tournament {
+        /// Tournament size (≥ 1; larger = more selection pressure).
+        k: usize,
+    },
+    /// Linear-ranking roulette (the paper's line 15–16 combination):
+    /// individual at rank `r` (0 = best) is selected with probability
+    /// proportional to `2 − s + 2·(s − 1)·(N − 1 − r)/(N − 1)`, where the
+    /// pressure `s ∈ [1, 2]` interpolates between uniform (`1`) and
+    /// strongly elitist (`2`) selection.
+    LinearRanking {
+        /// Selection pressure `s ∈ [1, 2]`.
+        pressure: f64,
+    },
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    /// Number of individuals kept each generation.
+    pub population_size: usize,
+    /// Probability that an offspring is produced by crossover (otherwise
+    /// it is a mutated copy of one parent).
+    pub crossover_rate: f64,
+    /// Per-gene probability of random reset in offspring.
+    pub mutation_rate: f64,
+    /// Parent-selection scheme.
+    pub selection: Selection,
+    /// Number of best individuals copied unchanged into the next
+    /// generation.
+    pub elitism: usize,
+    /// Fraction of offspring handed to [`GaProblem::improve`] each
+    /// generation (the paper found a small rate effective).
+    pub improvement_rate: f64,
+    /// Hard cap on generations.
+    pub max_generations: usize,
+    /// Stop after this many generations without improvement of the best
+    /// cost (the convergence criterion).
+    pub stagnation_limit: usize,
+    /// Additional diversity-based convergence (the paper combines both
+    /// criteria): stop once the relative cost spread of the population,
+    /// `(worst − best) / |best|`, stays below this threshold for a few
+    /// generations. `0.0` disables the check.
+    pub diversity_epsilon: f64,
+    /// RNG seed; equal seeds give identical runs.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        Self {
+            population_size: 50,
+            crossover_rate: 0.9,
+            mutation_rate: 0.06,
+            selection: Selection::Tournament { k: 2 },
+            elitism: 2,
+            improvement_rate: 0.08,
+            max_generations: 300,
+            stagnation_limit: 40,
+            diversity_epsilon: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The result of a GA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaOutcome<G> {
+    /// The best genome found.
+    pub best: Vec<G>,
+    /// Its cost.
+    pub best_cost: f64,
+    /// Generations executed.
+    pub generations: usize,
+    /// Cost evaluations performed.
+    pub evaluations: usize,
+    /// Best cost after each generation (index 0 = initial population).
+    pub history: Vec<f64>,
+}
+
+#[derive(Clone)]
+struct Individual<G> {
+    genome: Vec<G>,
+    cost: f64,
+}
+
+/// Runs the genetic algorithm on `problem` under `config`.
+///
+/// Deterministic for a fixed seed. Returns the best individual ever seen
+/// (with elitism this is also the best of the final generation).
+///
+/// # Panics
+///
+/// Panics if `config.population_size == 0`, the selection scheme is
+/// degenerate (tournament size 0, ranking pressure outside `[1, 2]`) or
+/// `problem.genome_len() == 0`.
+pub fn run<P: GaProblem>(problem: &P, config: &GaConfig) -> GaOutcome<P::Gene> {
+    assert!(config.population_size > 0, "population must be non-empty");
+    match config.selection {
+        Selection::Tournament { k } => {
+            assert!(k > 0, "tournament size must be positive");
+        }
+        Selection::LinearRanking { pressure } => {
+            assert!(
+                (1.0..=2.0).contains(&pressure),
+                "ranking pressure must be in [1, 2]"
+            );
+        }
+    }
+    let len = problem.genome_len();
+    assert!(len > 0, "genome must be non-empty");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut evaluations = 0usize;
+
+    let mut population: Vec<Individual<P::Gene>> = Vec::with_capacity(config.population_size);
+    for genome in problem.seeds().into_iter().take(config.population_size) {
+        assert_eq!(genome.len(), len, "seed genome has wrong length");
+        evaluations += 1;
+        let cost = problem.cost(&genome);
+        population.push(Individual { genome, cost });
+    }
+    while population.len() < config.population_size {
+        let genome: Vec<P::Gene> =
+            (0..len).map(|l| problem.random_gene(l, &mut rng)).collect();
+        evaluations += 1;
+        let cost = problem.cost(&genome);
+        population.push(Individual { genome, cost });
+    }
+    population.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+
+    let mut best = population[0].clone();
+    let mut history = vec![best.cost];
+    let mut stagnation = 0usize;
+    let mut generations = 0usize;
+    let mut low_diversity_generations = 0usize;
+
+    while generations < config.max_generations && stagnation < config.stagnation_limit {
+        if config.diversity_epsilon > 0.0 {
+            let best_cost = population[0].cost;
+            let worst_cost = population[population.len() - 1].cost;
+            let spread = if best_cost.abs() > 0.0 {
+                (worst_cost - best_cost) / best_cost.abs()
+            } else {
+                worst_cost - best_cost
+            };
+            if spread.is_finite() && spread < config.diversity_epsilon {
+                low_diversity_generations += 1;
+                if low_diversity_generations >= 3 {
+                    break;
+                }
+            } else {
+                low_diversity_generations = 0;
+            }
+        }
+        generations += 1;
+        let mut next: Vec<Individual<P::Gene>> = Vec::with_capacity(config.population_size);
+        // Elites survive unchanged (population is kept sorted).
+        for elite in population.iter().take(config.elitism.min(population.len())) {
+            next.push(elite.clone());
+        }
+        while next.len() < config.population_size {
+            let mut child = if rng.gen_bool(config.crossover_rate.clamp(0.0, 1.0)) {
+                let a = select(population.len(), config.selection, &mut rng);
+                let b = select(population.len(), config.selection, &mut rng);
+                two_point_crossover(&population[a].genome, &population[b].genome, &mut rng)
+            } else {
+                let a = select(population.len(), config.selection, &mut rng);
+                population[a].genome.clone()
+            };
+            for (locus, gene) in child.iter_mut().enumerate() {
+                if rng.gen_bool(config.mutation_rate.clamp(0.0, 1.0)) {
+                    *gene = problem.random_gene(locus, &mut rng);
+                }
+            }
+            if rng.gen_bool(config.improvement_rate.clamp(0.0, 1.0)) {
+                problem.improve(&mut child, &mut rng);
+            }
+            evaluations += 1;
+            let cost = problem.cost(&child);
+            next.push(Individual { genome: child, cost });
+        }
+        next.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        population = next;
+
+        if population[0].cost < best.cost {
+            best = population[0].clone();
+            stagnation = 0;
+        } else {
+            stagnation += 1;
+        }
+        history.push(best.cost);
+    }
+
+    GaOutcome {
+        best: best.genome,
+        best_cost: best.cost,
+        generations,
+        evaluations,
+        history,
+    }
+}
+
+/// Selects a parent index from a cost-sorted population (index 0 = best).
+fn select(len: usize, scheme: Selection, rng: &mut impl Rng) -> usize {
+    match scheme {
+        Selection::Tournament { k } => (0..k)
+            .map(|_| rng.gen_range(0..len))
+            .min()
+            .expect("tournament size is positive"),
+        Selection::LinearRanking { pressure } => {
+            if len == 1 {
+                return 0;
+            }
+            // Weight of rank r: 2 - s + 2(s-1)(len-1-r)/(len-1); total = len.
+            let s = pressure;
+            let mut ticket = rng.gen_range(0.0..len as f64);
+            for r in 0..len {
+                let weight =
+                    2.0 - s + 2.0 * (s - 1.0) * (len - 1 - r) as f64 / (len - 1) as f64;
+                if ticket < weight {
+                    return r;
+                }
+                ticket -= weight;
+            }
+            len - 1
+        }
+    }
+}
+
+/// Classic two-point crossover; degenerates gracefully for short genomes.
+fn two_point_crossover<G: Clone>(a: &[G], b: &[G], rng: &mut impl Rng) -> Vec<G> {
+    let len = a.len();
+    debug_assert_eq!(len, b.len());
+    if len < 2 {
+        return a.to_vec();
+    }
+    let mut p1 = rng.gen_range(0..len);
+    let mut p2 = rng.gen_range(0..len);
+    if p1 > p2 {
+        std::mem::swap(&mut p1, &mut p2);
+    }
+    let mut child = a.to_vec();
+    child[p1..p2].clone_from_slice(&b[p1..p2]);
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise the squared distance of integer genes to a target vector.
+    struct MatchTarget {
+        target: Vec<i64>,
+    }
+
+    impl GaProblem for MatchTarget {
+        type Gene = i64;
+        fn genome_len(&self) -> usize {
+            self.target.len()
+        }
+        fn random_gene(&self, _locus: usize, rng: &mut dyn RngCore) -> i64 {
+            rng.gen_range(-10..=10)
+        }
+        fn cost(&self, genome: &[i64]) -> f64 {
+            genome
+                .iter()
+                .zip(&self.target)
+                .map(|(&g, &t)| ((g - t) * (g - t)) as f64)
+                .sum()
+        }
+    }
+
+    /// A problem whose improvement hook plants the known optimum — checks
+    /// the hook is actually invoked.
+    struct HookProblem;
+
+    impl GaProblem for HookProblem {
+        type Gene = u8;
+        fn genome_len(&self) -> usize {
+            8
+        }
+        fn random_gene(&self, _locus: usize, rng: &mut dyn RngCore) -> u8 {
+            rng.gen_range(1..=9)
+        }
+        fn cost(&self, genome: &[u8]) -> f64 {
+            genome.iter().map(|&g| g as f64).sum()
+        }
+        fn improve(&self, genome: &mut [u8], _rng: &mut dyn RngCore) {
+            genome.fill(0);
+        }
+    }
+
+    #[test]
+    fn converges_on_simple_problem() {
+        let problem = MatchTarget { target: vec![3, -7, 0, 5, 5, -2] };
+        let outcome = run(
+            &problem,
+            &GaConfig {
+                max_generations: 500,
+                stagnation_limit: 100,
+                seed: 42,
+                ..GaConfig::default()
+            },
+        );
+        assert_eq!(outcome.best_cost, 0.0, "best genome {:?}", outcome.best);
+        assert_eq!(outcome.best, vec![3, -7, 0, 5, 5, -2]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let problem = MatchTarget { target: vec![1, 2, 3, 4] };
+        let cfg = GaConfig { seed: 9, ..GaConfig::default() };
+        let a = run(&problem, &cfg);
+        let b = run(&problem, &cfg);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_cost, b.best_cost);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let problem = MatchTarget { target: vec![1, 2, 3, 4, 5, 6, 7, 8] };
+        let a = run(&problem, &GaConfig { seed: 1, max_generations: 3, ..GaConfig::default() });
+        let b = run(&problem, &GaConfig { seed: 2, max_generations: 3, ..GaConfig::default() });
+        // Early histories from different seeds should differ.
+        assert_ne!(a.history, b.history);
+    }
+
+    #[test]
+    fn history_is_monotone_non_increasing() {
+        let problem = MatchTarget { target: vec![4; 10] };
+        let outcome = run(&problem, &GaConfig { seed: 3, ..GaConfig::default() });
+        for pair in outcome.history.windows(2) {
+            assert!(pair[1] <= pair[0]);
+        }
+        assert_eq!(outcome.history.len(), outcome.generations + 1);
+    }
+
+    #[test]
+    fn stagnation_stops_early() {
+        // A constant cost function stagnates immediately.
+        struct Flat;
+        impl GaProblem for Flat {
+            type Gene = u8;
+            fn genome_len(&self) -> usize {
+                4
+            }
+            fn random_gene(&self, _l: usize, rng: &mut dyn RngCore) -> u8 {
+                rng.gen_range(0..2)
+            }
+            fn cost(&self, _genome: &[u8]) -> f64 {
+                1.0
+            }
+        }
+        let outcome = run(
+            &Flat,
+            &GaConfig {
+                stagnation_limit: 5,
+                max_generations: 1000,
+                seed: 0,
+                ..GaConfig::default()
+            },
+        );
+        assert_eq!(outcome.generations, 5);
+    }
+
+    #[test]
+    fn improvement_hook_is_used() {
+        let outcome = run(
+            &HookProblem,
+            &GaConfig {
+                improvement_rate: 0.5,
+                max_generations: 10,
+                stagnation_limit: 10,
+                seed: 0,
+                ..GaConfig::default()
+            },
+        );
+        assert_eq!(outcome.best_cost, 0.0);
+    }
+
+    #[test]
+    fn elites_preserve_best_cost() {
+        let problem = MatchTarget { target: vec![0; 12] };
+        let outcome = run(
+            &problem,
+            &GaConfig { elitism: 4, seed: 11, max_generations: 50, ..GaConfig::default() },
+        );
+        // With elitism the final best equals the minimum of the history.
+        let min = outcome.history.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert_eq!(outcome.best_cost, min);
+    }
+
+    #[test]
+    fn crossover_preserves_locus_alleles() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = vec![0; 10];
+        let b = vec![1; 10];
+        for _ in 0..50 {
+            let child = two_point_crossover(&a, &b, &mut rng);
+            assert_eq!(child.len(), 10);
+            // Every gene comes from one of the parents at the same locus.
+            assert!(child.iter().all(|&g| g == 0 || g == 1));
+        }
+    }
+
+    #[test]
+    fn single_gene_genomes_work() {
+        let problem = MatchTarget { target: vec![7] };
+        let outcome = run(&problem, &GaConfig { seed: 0, ..GaConfig::default() });
+        assert_eq!(outcome.best, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn rejects_empty_population() {
+        let problem = MatchTarget { target: vec![1] };
+        let _ = run(&problem, &GaConfig { population_size: 0, ..GaConfig::default() });
+    }
+
+    #[test]
+    fn linear_ranking_selection_also_converges() {
+        let problem = MatchTarget { target: vec![2, -3, 4, 0, 1, -1] };
+        let outcome = run(
+            &problem,
+            &GaConfig {
+                selection: Selection::LinearRanking { pressure: 1.8 },
+                max_generations: 500,
+                stagnation_limit: 120,
+                seed: 21,
+                ..GaConfig::default()
+            },
+        );
+        assert_eq!(outcome.best_cost, 0.0, "best {:?}", outcome.best);
+    }
+
+    #[test]
+    fn linear_ranking_prefers_better_ranks() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..20_000 {
+            counts[select(10, Selection::LinearRanking { pressure: 2.0 }, &mut rng)] += 1;
+        }
+        // With s = 2 the best rank is selected ~2/N of the time and the
+        // worst almost never.
+        assert!(counts[0] > counts[9] * 5, "{counts:?}");
+        assert!(counts[0] > counts[4], "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pressure")]
+    fn invalid_ranking_pressure_is_rejected() {
+        let problem = MatchTarget { target: vec![1] };
+        let _ = run(
+            &problem,
+            &GaConfig {
+                selection: Selection::LinearRanking { pressure: 3.0 },
+                ..GaConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn diversity_convergence_stops_homogeneous_populations() {
+        // A two-valued cost landscape collapses diversity almost instantly.
+        struct NearFlat;
+        impl GaProblem for NearFlat {
+            type Gene = u8;
+            fn genome_len(&self) -> usize {
+                4
+            }
+            fn random_gene(&self, _l: usize, rng: &mut dyn RngCore) -> u8 {
+                rng.gen_range(0..2)
+            }
+            fn cost(&self, genome: &[u8]) -> f64 {
+                1.0 + f64::from(genome[0]) * 1e-9
+            }
+        }
+        let with_diversity = run(
+            &NearFlat,
+            &GaConfig {
+                diversity_epsilon: 1e-6,
+                stagnation_limit: 1000,
+                max_generations: 1000,
+                seed: 0,
+                ..GaConfig::default()
+            },
+        );
+        assert!(
+            with_diversity.generations < 1000,
+            "diversity criterion should stop early, ran {} generations",
+            with_diversity.generations
+        );
+    }
+
+    #[test]
+    fn evaluations_are_counted() {
+        let problem = MatchTarget { target: vec![1, 2] };
+        let cfg = GaConfig { max_generations: 5, stagnation_limit: 99, ..GaConfig::default() };
+        let outcome = run(&problem, &cfg);
+        // Initial pop + (pop - elites) per generation.
+        let expected =
+            cfg.population_size + outcome.generations * (cfg.population_size - cfg.elitism);
+        assert_eq!(outcome.evaluations, expected);
+    }
+}

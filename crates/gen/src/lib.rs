@@ -1,0 +1,38 @@
+//! Benchmark generators for multi-mode co-synthesis.
+//!
+//! Three workload families reproduce the DATE 2003 evaluation:
+//!
+//! * [`examples`] — the paper's motivational Examples 1 and 2 (Fig. 2 and
+//!   Fig. 3) with the exact technology table of Section 2.3;
+//! * [`suite`] — the seeded random `mul1`–`mul12` suite with the paper's
+//!   published parameter ranges (3–5 modes, 8–32 tasks per mode, 2–4 PEs,
+//!   1–3 links, skewed execution probabilities);
+//! * [`smartphone`] — the eight-mode smart-phone system of Fig. 1a with
+//!   GSM / MP3 / JPEG task pipelines and the published usage profile.
+//!
+//! # Examples
+//!
+//! ```
+//! use momsynth_gen::{examples, smartphone, suite};
+//!
+//! let phone = smartphone::smartphone();
+//! assert_eq!(phone.omsm().mode_count(), 8);
+//!
+//! let mul6 = suite::mul(6);
+//! assert_eq!(mul6.name(), "mul6");
+//!
+//! let fig2 = examples::example1_system();
+//! assert_eq!(fig2.omsm().mode_count(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod automotive;
+pub mod examples;
+pub mod smartphone;
+pub mod suite;
+pub mod tgff;
+
+pub use suite::{generate, mul, mul_params, mul_suite, GeneratorParams};
+pub use tgff::{parse_system, to_tgff, TgffError};

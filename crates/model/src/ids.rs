@@ -1,0 +1,185 @@
+//! Index-based identifiers for model entities.
+//!
+//! All model containers are arena-like `Vec`s; the identifiers below are
+//! typed indices into those arenas ([C-NEWTYPE]). [`TaskId`] and [`CommId`]
+//! are *mode-local* (two modes each have their own task 0), while
+//! [`ModeId`], [`TaskTypeId`], [`PeId`] and [`ClId`] are global to a
+//! [`System`](crate::System).
+//!
+//! # Examples
+//!
+//! ```
+//! use momsynth_model::ids::{PeId, TaskId};
+//!
+//! let pe = PeId::new(1);
+//! assert_eq!(pe.index(), 1);
+//! assert_eq!(pe.to_string(), "PE1");
+//! assert_ne!(TaskId::new(1).index(), TaskId::new(2).index());
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an identifier from an arena index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the arena index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A task within one mode's task graph (mode-local).
+    TaskId,
+    "t"
+);
+
+id_type!(
+    /// A communication edge within one mode's task graph (mode-local).
+    CommId,
+    "c"
+);
+
+id_type!(
+    /// A task type (e.g. *FFT*, *IDCT*), shared across modes.
+    TaskTypeId,
+    "TY"
+);
+
+id_type!(
+    /// An operational mode of the top-level state machine.
+    ModeId,
+    "O"
+);
+
+id_type!(
+    /// A processing element of the target architecture.
+    PeId,
+    "PE"
+);
+
+id_type!(
+    /// A communication link of the target architecture.
+    ClId,
+    "CL"
+);
+
+id_type!(
+    /// A mode transition edge of the top-level state machine.
+    TransitionId,
+    "T"
+);
+
+/// A task addressed globally: a `(mode, task)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use momsynth_model::ids::{GlobalTaskId, ModeId, TaskId};
+///
+/// let g = GlobalTaskId::new(ModeId::new(0), TaskId::new(3));
+/// assert_eq!(g.mode, ModeId::new(0));
+/// assert_eq!(g.task, TaskId::new(3));
+/// assert_eq!(g.to_string(), "O0/t3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalTaskId {
+    /// The mode containing the task.
+    pub mode: ModeId,
+    /// The mode-local task identifier.
+    pub task: TaskId,
+}
+
+impl GlobalTaskId {
+    /// Creates a global task identifier.
+    #[inline]
+    pub const fn new(mode: ModeId, task: TaskId) -> Self {
+        Self { mode, task }
+    }
+}
+
+impl fmt::Display for GlobalTaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.mode, self.task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_index() {
+        assert_eq!(TaskId::new(7).index(), 7);
+        assert_eq!(usize::from(PeId::new(2)), 2);
+        assert_eq!(ModeId::new(0), ModeId::new(0));
+        assert_ne!(ClId::new(0), ClId::new(1));
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(TaskId::new(3).to_string(), "t3");
+        assert_eq!(CommId::new(1).to_string(), "c1");
+        assert_eq!(TaskTypeId::new(4).to_string(), "TY4");
+        assert_eq!(ModeId::new(2).to_string(), "O2");
+        assert_eq!(PeId::new(0).to_string(), "PE0");
+        assert_eq!(ClId::new(0).to_string(), "CL0");
+        assert_eq!(TransitionId::new(5).to_string(), "T5");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let set: HashSet<_> = [PeId::new(0), PeId::new(1), PeId::new(0)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+        assert!(TaskId::new(1) < TaskId::new(2));
+    }
+
+    #[test]
+    fn global_task_id_orders_by_mode_then_task() {
+        let a = GlobalTaskId::new(ModeId::new(0), TaskId::new(9));
+        let b = GlobalTaskId::new(ModeId::new(1), TaskId::new(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn ids_serde_round_trip() {
+        let id = PeId::new(3);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "3");
+        assert_eq!(serde_json::from_str::<PeId>(&json).unwrap(), id);
+    }
+}

@@ -1,0 +1,356 @@
+//! Specification linting: non-fatal diagnostics for system models.
+//!
+//! [`System::new`](crate::System::new) rejects structurally broken models;
+//! this module finds *suspicious but legal* specifications — the mistakes
+//! a designer actually makes: unreachable modes, probability mass on modes
+//! with no work, deadlines longer than periods, task types that can never
+//! leave software, hardware that nothing can use, and periods too tight
+//! for even the fastest implementations.
+//!
+//! # Examples
+//!
+//! ```
+//! use momsynth_model::lint::lint_system;
+//! # use momsynth_model::{ArchitectureBuilder, Implementation, OmsmBuilder, Pe, PeKind,
+//! #     System, TaskGraphBuilder, TechLibraryBuilder};
+//! # use momsynth_model::units::{Seconds, Watts};
+//! # let mut tech = TechLibraryBuilder::new();
+//! # let t = tech.add_type("T");
+//! # let mut arch = ArchitectureBuilder::new();
+//! # let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO));
+//! # tech.set_impl(t, cpu, Implementation::software(Seconds::new(0.01), Watts::ZERO));
+//! # let mut g = TaskGraphBuilder::new("m", Seconds::new(1.0));
+//! # g.add_task("t", t);
+//! # let mut omsm = OmsmBuilder::new();
+//! # omsm.add_mode("m", 1.0, g.build().unwrap());
+//! # let system = System::new("s", omsm.build().unwrap(), arch.build().unwrap(),
+//! #     tech.build()).unwrap();
+//! let warnings = lint_system(&system);
+//! for w in &warnings {
+//!     eprintln!("warning: {w}");
+//! }
+//! ```
+
+use std::fmt;
+
+use crate::ids::{ModeId, PeId, TaskId, TaskTypeId};
+use crate::system::System;
+use crate::units::Seconds;
+
+/// A non-fatal specification diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LintWarning {
+    /// A mode cannot be entered from any other mode.
+    UnreachableMode {
+        /// The unreachable mode.
+        mode: ModeId,
+    },
+    /// A mode has no outgoing transition; the system can never leave it.
+    TrappingMode {
+        /// The trapping mode.
+        mode: ModeId,
+    },
+    /// A mode with meaningful probability mass (`> 1 %`) whose task graph
+    /// is trivial (a single task) — probably an unfinished specification.
+    ProbableStub {
+        /// The suspicious mode.
+        mode: ModeId,
+    },
+    /// A task's deadline exceeds its mode's period and is therefore
+    /// ignored (the effective deadline is `min(θ, φ)`).
+    DeadlineBeyondPeriod {
+        /// The mode containing the task.
+        mode: ModeId,
+        /// The task with the oversized deadline.
+        task: TaskId,
+    },
+    /// A mode's period is shorter than its critical path even with the
+    /// fastest implementation of every task — no mapping can meet it.
+    PeriodTighterThanCriticalPath {
+        /// The over-constrained mode.
+        mode: ModeId,
+        /// The lower bound on the critical path.
+        critical_path: Seconds,
+        /// The mode's period.
+        period: Seconds,
+    },
+    /// A task type used by some mode has only software implementations,
+    /// although hardware PEs exist — a possible library gap.
+    SoftwareOnlyType {
+        /// The affected type.
+        task_type: TaskTypeId,
+    },
+    /// A hardware PE that no task type can be implemented on.
+    UnusableHardware {
+        /// The unusable PE.
+        pe: PeId,
+    },
+    /// A DVS-enabled PE with a single supply level — scaling can never
+    /// change anything.
+    DegenerateDvs {
+        /// The affected PE.
+        pe: PeId,
+    },
+}
+
+impl fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnreachableMode { mode } => {
+                write!(f, "mode {mode} is unreachable from every other mode")
+            }
+            Self::TrappingMode { mode } => {
+                write!(f, "mode {mode} has no outgoing transition")
+            }
+            Self::ProbableStub { mode } => write!(
+                f,
+                "mode {mode} carries probability mass but contains a single task"
+            ),
+            Self::DeadlineBeyondPeriod { mode, task } => write!(
+                f,
+                "task {task} of mode {mode} has a deadline beyond the period (ignored)"
+            ),
+            Self::PeriodTighterThanCriticalPath { mode, critical_path, period } => write!(
+                f,
+                "mode {mode}: period {period:.6} is below the critical-path lower bound {critical_path:.6}"
+            ),
+            Self::SoftwareOnlyType { task_type } => write!(
+                f,
+                "task type {task_type} has no hardware implementation although hardware PEs exist"
+            ),
+            Self::UnusableHardware { pe } => {
+                write!(f, "hardware PE {pe} cannot implement any task type")
+            }
+            Self::DegenerateDvs { pe } => {
+                write!(f, "PE {pe} is DVS-enabled but offers a single supply level")
+            }
+        }
+    }
+}
+
+/// Lints `system` and returns all diagnostics found.
+pub fn lint_system(system: &System) -> Vec<LintWarning> {
+    let mut warnings = Vec::new();
+    let omsm = system.omsm();
+    let arch = system.arch();
+    let tech = system.tech();
+
+    // Reachability over the transition graph (multi-mode systems only).
+    if omsm.mode_count() > 1 {
+        for mode in omsm.mode_ids() {
+            if !omsm.transitions().any(|(_, t)| t.to() == mode) {
+                warnings.push(LintWarning::UnreachableMode { mode });
+            }
+            if omsm.transitions_from(mode).next().is_none() {
+                warnings.push(LintWarning::TrappingMode { mode });
+            }
+        }
+    }
+
+    for (mode, m) in omsm.modes() {
+        let graph = m.graph();
+        if m.probability() > 0.01 && graph.task_count() == 1 && omsm.mode_count() > 1 {
+            warnings.push(LintWarning::ProbableStub { mode });
+        }
+        for (task, t) in graph.tasks() {
+            if let Some(d) = t.deadline() {
+                if d > graph.period() {
+                    warnings.push(LintWarning::DeadlineBeyondPeriod { mode, task });
+                }
+            }
+        }
+        // Critical path with every task at its fastest implementation and
+        // free communication is a lower bound on any schedule.
+        let cp = graph.critical_path(
+            |task| {
+                tech.fastest_exec_time(graph.task(task).task_type())
+                    .unwrap_or(Seconds::ZERO)
+            },
+            |_| Seconds::ZERO,
+        );
+        if cp > graph.period() {
+            warnings.push(LintWarning::PeriodTighterThanCriticalPath {
+                mode,
+                critical_path: cp,
+                period: graph.period(),
+            });
+        }
+    }
+
+    let has_hardware = arch.hardware_pes().next().is_some();
+    if has_hardware {
+        let mut used_types: Vec<TaskTypeId> = omsm
+            .modes()
+            .flat_map(|(_, m)| m.graph().used_types())
+            .collect();
+        used_types.sort_unstable();
+        used_types.dedup();
+        for ty in used_types {
+            let hw_impl = tech
+                .pes_supporting(ty)
+                .any(|pe| arch.pe(pe).kind().is_hardware());
+            if !hw_impl {
+                warnings.push(LintWarning::SoftwareOnlyType { task_type: ty });
+            }
+        }
+        for pe in arch.hardware_pes() {
+            let usable = tech.type_ids().any(|ty| tech.impl_of(ty, pe).is_some());
+            if !usable {
+                warnings.push(LintWarning::UnusableHardware { pe });
+            }
+        }
+    }
+
+    for (pe, info) in arch.pes() {
+        if let Some(dvs) = info.dvs() {
+            if dvs.levels().len() < 2 {
+                warnings.push(LintWarning::DegenerateDvs { pe });
+            }
+        }
+    }
+
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{ArchitectureBuilder, Cl, DvsCapability, Pe, PeKind};
+    use crate::omsm::OmsmBuilder;
+    use crate::task_graph::{TaskGraph, TaskGraphBuilder};
+    use crate::tech::{Implementation, TechLibraryBuilder};
+    use crate::units::{Cells, Volts, Watts};
+
+    fn graph(name: &str, n: usize, period: Seconds) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new(name, period);
+        for i in 0..n {
+            b.add_task(format!("t{i}"), TaskTypeId::new(0));
+        }
+        b.build().unwrap()
+    }
+
+    /// A clean two-mode system that should lint without warnings.
+    fn clean_system() -> System {
+        let mut tech = TechLibraryBuilder::new();
+        let t = tech.add_type("T");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO));
+        let hw = arch.add_pe(Pe::hardware("hw", PeKind::Asic, Cells::new(100), Watts::ZERO));
+        arch.add_cl(Cl::bus("bus", vec![cpu, hw], Seconds::ZERO, Watts::ZERO, Watts::ZERO))
+            .unwrap();
+        tech.set_impl(t, cpu, Implementation::software(Seconds::new(0.01), Watts::ZERO));
+        tech.set_impl(
+            t,
+            hw,
+            Implementation::hardware(Seconds::new(0.001), Watts::ZERO, Cells::new(50)),
+        );
+        let mut omsm = OmsmBuilder::new();
+        let a = omsm.add_mode("a", 0.5, graph("a", 3, Seconds::new(1.0)));
+        let b = omsm.add_mode("b", 0.5, graph("b", 3, Seconds::new(1.0)));
+        omsm.add_transition(a, b, Seconds::new(0.1)).unwrap();
+        omsm.add_transition(b, a, Seconds::new(0.1)).unwrap();
+        System::new("clean", omsm.build().unwrap(), arch.build().unwrap(), tech.build()).unwrap()
+    }
+
+    #[test]
+    fn clean_system_has_no_warnings() {
+        assert_eq!(lint_system(&clean_system()), vec![]);
+    }
+
+    #[test]
+    fn detects_unreachable_and_trapping_modes() {
+        let mut tech = TechLibraryBuilder::new();
+        let t = tech.add_type("T");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO));
+        tech.set_impl(t, cpu, Implementation::software(Seconds::new(0.01), Watts::ZERO));
+        let mut omsm = OmsmBuilder::new();
+        let a = omsm.add_mode("a", 0.5, graph("a", 2, Seconds::new(1.0)));
+        let b = omsm.add_mode("b", 0.5, graph("b", 2, Seconds::new(1.0)));
+        omsm.add_transition(a, b, Seconds::new(0.1)).unwrap();
+        let system =
+            System::new("s", omsm.build().unwrap(), arch.build().unwrap(), tech.build()).unwrap();
+        let warnings = lint_system(&system);
+        assert!(warnings.contains(&LintWarning::UnreachableMode { mode: a }));
+        assert!(warnings.contains(&LintWarning::TrappingMode { mode: b }));
+    }
+
+    #[test]
+    fn detects_impossible_period_and_big_deadline() {
+        let mut tech = TechLibraryBuilder::new();
+        let t = tech.add_type("T");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO));
+        tech.set_impl(t, cpu, Implementation::software(Seconds::new(0.5), Watts::ZERO));
+        let mut g = TaskGraphBuilder::new("m", Seconds::new(0.4));
+        let a = g.add_task_with_deadline("a", t, Seconds::new(2.0));
+        let b = g.add_task("b", t);
+        g.add_comm(a, b, 1.0).unwrap();
+        let mut omsm = OmsmBuilder::new();
+        let mode = omsm.add_mode("m", 1.0, g.build().unwrap());
+        let system =
+            System::new("s", omsm.build().unwrap(), arch.build().unwrap(), tech.build()).unwrap();
+        let warnings = lint_system(&system);
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, LintWarning::PeriodTighterThanCriticalPath { mode: m, .. } if *m == mode)));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, LintWarning::DeadlineBeyondPeriod { .. })));
+    }
+
+    #[test]
+    fn detects_software_only_types_and_unusable_hardware() {
+        let mut tech = TechLibraryBuilder::new();
+        let t = tech.add_type("T");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO));
+        let hw = arch.add_pe(Pe::hardware("hw", PeKind::Asic, Cells::new(100), Watts::ZERO));
+        tech.set_impl(t, cpu, Implementation::software(Seconds::new(0.01), Watts::ZERO));
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, graph("m", 2, Seconds::new(1.0)));
+        let system =
+            System::new("s", omsm.build().unwrap(), arch.build().unwrap(), tech.build()).unwrap();
+        let warnings = lint_system(&system);
+        assert!(warnings.contains(&LintWarning::SoftwareOnlyType { task_type: t }));
+        assert!(warnings.contains(&LintWarning::UnusableHardware { pe: hw }));
+    }
+
+    #[test]
+    fn detects_degenerate_dvs_and_stub_modes() {
+        let mut tech = TechLibraryBuilder::new();
+        let t = tech.add_type("T");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch.add_pe(
+            Pe::software("cpu", PeKind::Gpp, Watts::ZERO).with_dvs(DvsCapability::new(
+                Volts::new(3.3),
+                Volts::new(0.8),
+                vec![Volts::new(3.3)],
+            )),
+        );
+        tech.set_impl(t, cpu, Implementation::software(Seconds::new(0.01), Watts::ZERO));
+        let mut omsm = OmsmBuilder::new();
+        let a = omsm.add_mode("a", 0.9, graph("a", 1, Seconds::new(1.0)));
+        let b = omsm.add_mode("b", 0.1, graph("b", 3, Seconds::new(1.0)));
+        omsm.add_transition(a, b, Seconds::new(0.1)).unwrap();
+        omsm.add_transition(b, a, Seconds::new(0.1)).unwrap();
+        let system =
+            System::new("s", omsm.build().unwrap(), arch.build().unwrap(), tech.build()).unwrap();
+        let warnings = lint_system(&system);
+        assert!(warnings.contains(&LintWarning::DegenerateDvs { pe: cpu }));
+        assert!(warnings.contains(&LintWarning::ProbableStub { mode: a }));
+    }
+
+    #[test]
+    fn warning_display_is_informative() {
+        let w = LintWarning::PeriodTighterThanCriticalPath {
+            mode: ModeId::new(2),
+            critical_path: Seconds::new(0.5),
+            period: Seconds::new(0.4),
+        };
+        let text = w.to_string();
+        assert!(text.contains("O2"));
+        assert!(text.contains("critical-path"));
+    }
+}

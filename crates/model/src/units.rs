@@ -1,0 +1,490 @@
+//! Strongly typed physical quantities used throughout the workspace.
+//!
+//! The co-synthesis flow mixes times, powers, energies, voltages and silicon
+//! area in a single optimisation loop; newtypes keep those dimensions from
+//! being accidentally confused ([C-NEWTYPE]). All quantities are stored in SI
+//! base units (seconds, watts, joules, volts) while the reporting layer
+//! formats them in the paper's units (ms, mW, mWs).
+//!
+//! # Examples
+//!
+//! ```
+//! use momsynth_model::units::{Seconds, Watts};
+//!
+//! let exec_time = Seconds::from_millis(20.0);
+//! let power = Watts::from_milli(10.0);
+//! let energy = power * exec_time;
+//! assert!((energy.as_milli_joules() - 0.2).abs() < 1e-9);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! float_unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a raw value in SI base units.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in SI base units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns `true` if the quantity is a finite number.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Clamps negative values to zero.
+            #[inline]
+            pub fn clamp_non_negative(self) -> Self {
+                Self(self.0.max(0.0))
+            }
+
+            /// Absolute difference between two quantities.
+            #[inline]
+            pub fn abs_diff(self, other: Self) -> Self {
+                Self((self.0 - other.0).abs())
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a $name>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(precision) = f.precision() {
+                    write!(f, "{:.*} {}", precision, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+float_unit!(
+    /// A time duration in seconds.
+    Seconds,
+    "s"
+);
+
+float_unit!(
+    /// A power in watts.
+    Watts,
+    "W"
+);
+
+float_unit!(
+    /// An energy in joules.
+    Joules,
+    "J"
+);
+
+float_unit!(
+    /// An electric potential in volts.
+    Volts,
+    "V"
+);
+
+impl Seconds {
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: f64) -> Self {
+        Self(ms / 1000.0)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: f64) -> Self {
+        Self(us / 1_000_000.0)
+    }
+
+    /// Returns the duration in milliseconds.
+    #[inline]
+    pub const fn as_millis(self) -> f64 {
+        self.0 * 1000.0
+    }
+}
+
+impl Watts {
+    /// Creates a power from milliwatts.
+    #[inline]
+    pub const fn from_milli(mw: f64) -> Self {
+        Self(mw / 1000.0)
+    }
+
+    /// Creates a power from microwatts.
+    #[inline]
+    pub const fn from_micro(uw: f64) -> Self {
+        Self(uw / 1_000_000.0)
+    }
+
+    /// Returns the power in milliwatts.
+    #[inline]
+    pub const fn as_milli(self) -> f64 {
+        self.0 * 1000.0
+    }
+}
+
+impl Joules {
+    /// Creates an energy from the paper's `mWs` (milliwatt-seconds).
+    #[inline]
+    pub const fn from_milli_watt_seconds(mws: f64) -> Self {
+        Self(mws / 1000.0)
+    }
+
+    /// Returns the energy in millijoules (equivalently `mWs`).
+    #[inline]
+    pub const fn as_milli_joules(self) -> f64 {
+        self.0 * 1000.0
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds::new(self.value() / rhs.value())
+    }
+}
+
+/// Silicon area measured in abstract cells, as in the paper's examples.
+///
+/// Area is integral and never negative; arithmetic saturates rather than
+/// wrapping so that an over-subscribed hardware component reports a large
+/// deficit instead of panicking.
+///
+/// # Examples
+///
+/// ```
+/// use momsynth_model::units::Cells;
+///
+/// let asic = Cells::new(600);
+/// let used = Cells::new(240) + Cells::new(300);
+/// assert!(used <= asic);
+/// assert_eq!(asic.saturating_sub(used), Cells::new(60));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Cells(u64);
+
+impl Cells {
+    /// Zero cells.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates an area from a cell count.
+    #[inline]
+    pub const fn new(cells: u64) -> Self {
+        Self(cells)
+    }
+
+    /// Returns the raw cell count.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns zero when `rhs` exceeds `self`.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Self) -> Option<Self> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Self(v)),
+            None => None,
+        }
+    }
+
+    /// Ratio of this area to `other`, as used by area penalties.
+    #[inline]
+    pub fn ratio_to(self, other: Self) -> f64 {
+        self.0 as f64 / other.0 as f64
+    }
+}
+
+impl Add for Cells {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Cells {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Mul<u64> for Cells {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Sum for Cells {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |acc, v| acc + v)
+    }
+}
+
+impl<'a> Sum<&'a Cells> for Cells {
+    fn sum<I: Iterator<Item = &'a Cells>>(iter: I) -> Self {
+        iter.copied().sum()
+    }
+}
+
+impl fmt::Display for Cells {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cells", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_conversions_round_trip() {
+        let s = Seconds::from_millis(20.0);
+        assert!((s.value() - 0.02).abs() < 1e-12);
+        assert!((s.as_millis() - 20.0).abs() < 1e-12);
+        let u = Seconds::from_micros(1500.0);
+        assert!((u.as_millis() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watts_times_seconds_is_joules() {
+        let e = Watts::from_milli(10.0) * Seconds::from_millis(20.0);
+        assert!((e.as_milli_joules() - 0.2).abs() < 1e-12);
+        let e2 = Seconds::from_millis(20.0) * Watts::from_milli(10.0);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn joules_divided_by_time_is_power() {
+        let p = Joules::from_milli_watt_seconds(200.0) / Seconds::new(2.0);
+        assert!((p.as_milli() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joules_divided_by_power_is_time() {
+        let t = Joules::new(0.5) / Watts::new(0.25);
+        assert!((t.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_arithmetic_and_comparisons() {
+        let a = Seconds::new(1.0);
+        let b = Seconds::new(2.0);
+        assert_eq!(a + b, Seconds::new(3.0));
+        assert_eq!(b - a, Seconds::new(1.0));
+        assert_eq!(b * 2.0, Seconds::new(4.0));
+        assert_eq!(2.0 * b, Seconds::new(4.0));
+        assert_eq!(b / 2.0, Seconds::new(1.0));
+        assert!((b / a - 2.0).abs() < 1e-12);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(-a, Seconds::new(-1.0));
+        assert_eq!((-a).clamp_non_negative(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn unit_sum_over_iterators() {
+        let total: Seconds = [Seconds::new(1.0), Seconds::new(2.5)].iter().sum();
+        assert_eq!(total, Seconds::new(3.5));
+        let total2: Seconds = [Seconds::new(1.0), Seconds::new(2.5)].into_iter().sum();
+        assert_eq!(total2, Seconds::new(3.5));
+    }
+
+    #[test]
+    fn unit_display_formats_with_suffix_and_precision() {
+        assert_eq!(format!("{:.3}", Watts::new(0.0104)), "0.010 W");
+        assert_eq!(format!("{}", Volts::new(3.3)), "3.3 V");
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = Volts::new(1.2);
+        let b = Volts::new(3.3);
+        assert_eq!(a.abs_diff(b), b.abs_diff(a));
+        assert!((a.abs_diff(b).value() - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cells_saturating_arithmetic() {
+        let a = Cells::new(u64::MAX);
+        assert_eq!(a + Cells::new(10), Cells::new(u64::MAX));
+        assert_eq!(Cells::new(5).saturating_sub(Cells::new(10)), Cells::ZERO);
+        assert_eq!(Cells::new(10).checked_sub(Cells::new(5)), Some(Cells::new(5)));
+        assert_eq!(Cells::new(5).checked_sub(Cells::new(10)), None);
+        assert_eq!(Cells::new(3) * 4, Cells::new(12));
+    }
+
+    #[test]
+    fn cells_sum_and_ratio() {
+        let used: Cells = [Cells::new(240), Cells::new(300)].iter().sum();
+        assert_eq!(used, Cells::new(540));
+        assert!((used.ratio_to(Cells::new(600)) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip_is_transparent() {
+        let s = Seconds::new(0.025);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, "0.025");
+        let back: Seconds = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+
+        let c = Cells::new(600);
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(json, "600");
+        let back: Cells = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,468 @@
+//! Mobility-driven list scheduling with on-line communication mapping.
+//!
+//! This is the inner loop of the paper's co-synthesis (Fig. 4, line 10),
+//! equivalent in role to the LOPOCOS scheduling substrate of the paper's
+//! reference \[12\]: given a task mapping and a hardware core allocation, construct a
+//! static schedule `Sε^O` for one mode and simultaneously derive the
+//! communication mapping `Mγ^O` by routing each inter-PE transfer over the
+//! connecting link that lets it finish earliest.
+//!
+//! Resources are modelled as sequential servers: one per software PE, one
+//! per allocated hardware core instance, one per link. Hardware tasks of
+//! different cores run in parallel; tasks contending for the same core
+//! instance sequentialise — the paper's hardware-sharing semantics.
+
+use std::collections::BTreeMap;
+
+use momsynth_model::ids::{ModeId, TaskId};
+use momsynth_model::units::Seconds;
+use momsynth_model::System;
+
+use crate::error::SchedError;
+use crate::mapping::{CoreAllocation, SystemMapping};
+use crate::mobility::TimingAnalysis;
+use crate::schedule::{ActivityId, ResourceKey, Schedule, ScheduledComm, ScheduledTask};
+
+/// The rule used to order ready tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Ascending mobility (the paper's choice): urgent tasks first.
+    #[default]
+    Mobility,
+    /// Task-id order; the ablation baseline for design decision D5.
+    Fifo,
+}
+
+/// Options controlling the list scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulerOptions {
+    /// Ready-list ordering rule.
+    pub priority: Priority,
+}
+
+/// Schedules one mode of `system` under `mapping` and `alloc`.
+///
+/// Returns a [`Schedule`] with per-resource activity sequences; timing
+/// feasibility is *not* enforced here — the caller inspects
+/// [`Schedule::total_lateness`] and applies the paper's timing penalty.
+///
+/// # Errors
+///
+/// Returns [`SchedError::UnsupportedMapping`] if a task is mapped to a PE
+/// lacking an implementation of its type, and [`SchedError::NoRoute`] if
+/// two communicating tasks sit on PEs with no common link.
+pub fn schedule_mode(
+    system: &System,
+    mode: ModeId,
+    mapping: &SystemMapping,
+    alloc: &CoreAllocation,
+    options: SchedulerOptions,
+) -> Result<Schedule, SchedError> {
+    let graph = system.omsm().mode(mode).graph();
+    let n = graph.task_count();
+
+    // Priority ranks: rank[task] = position in the chosen order.
+    let order: Vec<TaskId> = match options.priority {
+        Priority::Mobility => TimingAnalysis::analyze(system, mode, mapping).priority_order(),
+        Priority::Fifo => graph.task_ids().collect(),
+    };
+    let mut rank = vec![0usize; n];
+    for (pos, &t) in order.iter().enumerate() {
+        rank[t.index()] = pos;
+    }
+
+    let mut scheduled: Vec<Option<ScheduledTask>> = vec![None; n];
+    let mut comms: Vec<Option<ScheduledComm>> = vec![None; graph.comm_count()];
+    let mut avail: BTreeMap<ResourceKey, Seconds> = BTreeMap::new();
+    let mut sequences: BTreeMap<ResourceKey, Vec<ActivityId>> = BTreeMap::new();
+
+    let mut pending_preds: Vec<usize> =
+        graph.task_ids().map(|t| graph.predecessors(t).len()).collect();
+    let mut ready: Vec<TaskId> = graph
+        .task_ids()
+        .filter(|t| pending_preds[t.index()] == 0)
+        .collect();
+
+    while let Some(pos) = ready
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, t)| rank[t.index()])
+        .map(|(i, _)| i)
+    {
+        let task = ready.swap_remove(pos);
+        let pe = mapping.pe_of(mode, task);
+        let ty = graph.task(task).task_type();
+        let imp = system
+            .tech()
+            .impl_of(ty, pe)
+            .ok_or(SchedError::UnsupportedMapping { mode, task, pe })?;
+
+        // Route incoming data, scheduling remote transfers on links.
+        let mut est = Seconds::ZERO;
+        for &(comm, pred) in graph.predecessors(task) {
+            let pred_entry = scheduled[pred.index()]
+                .expect("predecessor scheduled before successor became ready");
+            let src_pe = pred_entry.pe;
+            if src_pe == pe {
+                est = est.max(pred_entry.finish());
+                continue;
+            }
+            let edge = graph.comm(comm);
+            // Pick the connecting link with the earliest transfer finish.
+            let mut best: Option<(ResourceKey, ScheduledComm)> = None;
+            for cl in system.arch().cls_between(src_pe, pe) {
+                let key = ResourceKey::Link(cl);
+                let link_free = avail.get(&key).copied().unwrap_or(Seconds::ZERO);
+                let start = link_free.max(pred_entry.finish());
+                let duration = system.arch().cl(cl).transfer_time(edge.data_units());
+                let candidate = ScheduledComm { comm, cl, start, duration };
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => candidate.finish() < b.finish(),
+                };
+                if better {
+                    best = Some((key, candidate));
+                }
+            }
+            let (key, entry) =
+                best.ok_or(SchedError::NoRoute { mode, from: src_pe, to: pe })?;
+            avail.insert(key, entry.finish());
+            sequences.entry(key).or_default().push(ActivityId::Comm(comm));
+            comms[comm.index()] = Some(entry);
+            est = est.max(entry.finish());
+        }
+
+        // Pick the execution resource.
+        let resource = if system.arch().pe(pe).kind().is_software() {
+            ResourceKey::SwPe(pe)
+        } else {
+            let instances = alloc.instances(mode, pe, ty).max(1);
+            (0..instances)
+                .map(|i| ResourceKey::HwCore(pe, ty, i))
+                .min_by(|a, b| {
+                    let fa = avail.get(a).copied().unwrap_or(Seconds::ZERO);
+                    let fb = avail.get(b).copied().unwrap_or(Seconds::ZERO);
+                    fa.value().total_cmp(&fb.value())
+                })
+                .expect("at least one core instance")
+        };
+        let res_free = avail.get(&resource).copied().unwrap_or(Seconds::ZERO);
+        let start = est.max(res_free);
+        let entry = ScheduledTask { task, pe, resource, start, exec_time: imp.exec_time() };
+        avail.insert(resource, entry.finish());
+        sequences.entry(resource).or_default().push(ActivityId::Task(task));
+        scheduled[task.index()] = Some(entry);
+
+        for &(_, succ) in graph.successors(task) {
+            pending_preds[succ.index()] -= 1;
+            if pending_preds[succ.index()] == 0 {
+                ready.push(succ);
+            }
+        }
+    }
+
+    let tasks: Vec<ScheduledTask> = scheduled
+        .into_iter()
+        .map(|t| t.expect("acyclic graph schedules every task"))
+        .collect();
+    let sequences: Vec<(ResourceKey, Vec<ActivityId>)> = sequences.into_iter().collect();
+    Ok(Schedule::from_parts(mode, tasks, comms, sequences))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use momsynth_model::ids::{PeId, TaskTypeId};
+    use momsynth_model::units::{Cells, Watts};
+    use momsynth_model::{
+        ArchitectureBuilder, Cl, Implementation, OmsmBuilder, Pe, PeKind, TaskGraphBuilder,
+        TechLibraryBuilder,
+    };
+
+    /// One CPU + one ASIC on a bus; types X (SW 10 ms / HW 1 ms) and
+    /// Y (SW only, 5 ms). Mode 0: fork-join a->(l,r)->s with l,r of type X
+    /// and a,s of type Y.
+    fn testbed() -> System {
+        let mut tech = TechLibraryBuilder::new();
+        let tx = tech.add_type("X");
+        let ty = tech.add_type("Y");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO));
+        let hw = arch.add_pe(Pe::hardware("hw", PeKind::Asic, Cells::new(100), Watts::ZERO));
+        arch.add_cl(Cl::bus(
+            "bus",
+            vec![cpu, hw],
+            Seconds::from_micros(10.0),
+            Watts::ZERO,
+            Watts::ZERO,
+        ))
+        .unwrap();
+        tech.set_impl(
+            tx,
+            cpu,
+            Implementation::software(Seconds::from_millis(10.0), Watts::from_milli(1.0)),
+        );
+        tech.set_impl(
+            tx,
+            hw,
+            Implementation::hardware(
+                Seconds::from_millis(1.0),
+                Watts::from_micro(10.0),
+                Cells::new(50),
+            ),
+        );
+        tech.set_impl(
+            ty,
+            cpu,
+            Implementation::software(Seconds::from_millis(5.0), Watts::from_milli(1.0)),
+        );
+
+        let mut g = TaskGraphBuilder::new("fj", Seconds::from_millis(100.0));
+        let a = g.add_task("a", ty);
+        let l = g.add_task("l", tx);
+        let r = g.add_task("r", tx);
+        let s = g.add_task("s", ty);
+        g.add_comm(a, l, 100.0).unwrap();
+        g.add_comm(a, r, 100.0).unwrap();
+        g.add_comm(l, s, 100.0).unwrap();
+        g.add_comm(r, s, 100.0).unwrap();
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("fj", 1.0, g.build().unwrap());
+        System::new("tb", omsm.build().unwrap(), arch.build().unwrap(), tech.build()).unwrap()
+    }
+
+    fn cpu_mapping(sys: &System) -> SystemMapping {
+        SystemMapping::from_fn(sys, |_| PeId::new(0))
+    }
+
+    fn run(sys: &System, mapping: &SystemMapping) -> Schedule {
+        let alloc = CoreAllocation::minimal(sys, mapping);
+        schedule_mode(sys, ModeId::new(0), mapping, &alloc, SchedulerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn software_tasks_sequentialise() {
+        let sys = testbed();
+        let s = run(&sys, &cpu_mapping(&sys));
+        // a(5) then l(10), r(10) in some order, then s(5): makespan 30 ms.
+        assert!((s.makespan().as_millis() - 30.0).abs() < 1e-9);
+        assert_eq!(s.remote_comms().count(), 0);
+        // All four tasks on the single software server, no overlap.
+        let seq = s.sequences();
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq[0].0, ResourceKey::SwPe(PeId::new(0)));
+        assert_eq!(seq[0].1.len(), 4);
+        let mut last_finish = Seconds::ZERO;
+        for act in &seq[0].1 {
+            if let ActivityId::Task(t) = act {
+                let e = s.task(*t);
+                assert!(e.start + Seconds::new(1e-15) >= last_finish);
+                last_finish = e.finish();
+            }
+        }
+    }
+
+    /// Two independent type-X tasks on the ASIC: parallel with two core
+    /// instances, sequential with one.
+    fn independent_pair_system() -> System {
+        let mut tech = TechLibraryBuilder::new();
+        let tx = tech.add_type("X");
+        let mut arch = ArchitectureBuilder::new();
+        let _cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO));
+        let hw = arch.add_pe(Pe::hardware("hw", PeKind::Asic, Cells::new(100), Watts::ZERO));
+        tech.set_impl(
+            tx,
+            hw,
+            Implementation::hardware(
+                Seconds::from_millis(2.0),
+                Watts::from_micro(10.0),
+                Cells::new(50),
+            ),
+        );
+        let mut g = TaskGraphBuilder::new("pair", Seconds::from_millis(100.0));
+        g.add_task("p", tx);
+        g.add_task("q", tx);
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("pair", 1.0, g.build().unwrap());
+        System::new("pair", omsm.build().unwrap(), arch.build().unwrap(), tech.build()).unwrap()
+    }
+
+    #[test]
+    fn hardware_cores_run_in_parallel_when_replicated() {
+        let sys = independent_pair_system();
+        let mapping = SystemMapping::from_fn(&sys, |_| PeId::new(1));
+        let mut alloc = CoreAllocation::minimal(&sys, &mapping);
+        alloc.set_instances(ModeId::new(0), PeId::new(1), TaskTypeId::new(0), 2);
+        let s = schedule_mode(
+            &sys,
+            ModeId::new(0),
+            &mapping,
+            &alloc,
+            SchedulerOptions::default(),
+        )
+        .unwrap();
+        let p = s.task(TaskId::new(0));
+        let q = s.task(TaskId::new(1));
+        assert_ne!(p.resource, q.resource);
+        assert_eq!(p.start, Seconds::ZERO);
+        assert_eq!(q.start, Seconds::ZERO);
+        assert!((s.makespan().as_millis() - 2.0).abs() < 1e-9);
+
+        // With the minimal single-core allocation the pair sequentialises.
+        let alloc1 = CoreAllocation::minimal(&sys, &mapping);
+        let s1 = schedule_mode(
+            &sys,
+            ModeId::new(0),
+            &mapping,
+            &alloc1,
+            SchedulerOptions::default(),
+        )
+        .unwrap();
+        assert!((s1.makespan().as_millis() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_core_contention_sequentialises() {
+        let sys = testbed();
+        let mut mapping = cpu_mapping(&sys);
+        mapping.set(ModeId::new(0), TaskId::new(1), PeId::new(1));
+        mapping.set(ModeId::new(0), TaskId::new(2), PeId::new(1));
+        let s = run(&sys, &mapping); // minimal alloc: one core
+        let l = s.task(TaskId::new(1));
+        let r = s.task(TaskId::new(2));
+        assert_eq!(l.resource, r.resource);
+        let (first, second) = if l.start < r.start { (l, r) } else { (r, l) };
+        assert!(second.start + Seconds::new(1e-15) >= first.finish());
+    }
+
+    #[test]
+    fn remote_comm_is_routed_and_timed() {
+        let sys = testbed();
+        let mut mapping = cpu_mapping(&sys);
+        mapping.set(ModeId::new(0), TaskId::new(1), PeId::new(1));
+        let s = run(&sys, &mapping);
+        // a finishes at 5 ms; a->l transfers 100 units at 10 us = 1 ms.
+        let c = s.comm(momsynth_model::ids::CommId::new(0)).unwrap();
+        assert!((c.start.as_millis() - 5.0).abs() < 1e-9);
+        assert!((c.duration.as_millis() - 1.0).abs() < 1e-9);
+        // l executes 6..7 on hw; l->s transfers back 7..8.
+        let l = s.task(TaskId::new(1));
+        assert!((l.start.as_millis() - 6.0).abs() < 1e-9);
+        let back = s.comm(momsynth_model::ids::CommId::new(2)).unwrap();
+        assert!((back.start.as_millis() - 7.0).abs() < 1e-9);
+        // Local comms have no entries.
+        assert!(s.comm(momsynth_model::ids::CommId::new(1)).is_none());
+        assert_eq!(s.remote_comms().count(), 2);
+    }
+
+    #[test]
+    fn bus_contention_serialises_transfers() {
+        let sys = testbed();
+        let mut mapping = cpu_mapping(&sys);
+        mapping.set(ModeId::new(0), TaskId::new(1), PeId::new(1));
+        mapping.set(ModeId::new(0), TaskId::new(2), PeId::new(1));
+        let mut alloc = CoreAllocation::minimal(&sys, &mapping);
+        alloc.set_instances(ModeId::new(0), PeId::new(1), TaskTypeId::new(0), 2);
+        let s = schedule_mode(
+            &sys,
+            ModeId::new(0),
+            &mapping,
+            &alloc,
+            SchedulerOptions::default(),
+        )
+        .unwrap();
+        // Both a->l and a->r become ready at 5 ms but share the bus.
+        let c0 = s.comm(momsynth_model::ids::CommId::new(0)).unwrap();
+        let c1 = s.comm(momsynth_model::ids::CommId::new(1)).unwrap();
+        let (first, second) = if c0.start < c1.start { (c0, c1) } else { (c1, c0) };
+        assert!(second.start + Seconds::new(1e-15) >= first.finish());
+    }
+
+    #[test]
+    fn missing_implementation_is_reported() {
+        let sys = testbed();
+        // Task a has type Y with no HW implementation.
+        let mut mapping = cpu_mapping(&sys);
+        mapping.set(ModeId::new(0), TaskId::new(0), PeId::new(1));
+        let alloc = CoreAllocation::minimal(&sys, &mapping);
+        let err = schedule_mode(
+            &sys,
+            ModeId::new(0),
+            &mapping,
+            &alloc,
+            SchedulerOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchedError::UnsupportedMapping { .. }));
+    }
+
+    #[test]
+    fn no_route_is_reported() {
+        // Two CPUs without any link.
+        let mut tech = TechLibraryBuilder::new();
+        let tx = tech.add_type("X");
+        let mut arch = ArchitectureBuilder::new();
+        let c0 = arch.add_pe(Pe::software("c0", PeKind::Gpp, Watts::ZERO));
+        let c1 = arch.add_pe(Pe::software("c1", PeKind::Gpp, Watts::ZERO));
+        tech.set_impl(tx, c0, Implementation::software(Seconds::new(0.01), Watts::ZERO));
+        tech.set_impl(tx, c1, Implementation::software(Seconds::new(0.01), Watts::ZERO));
+        let mut g = TaskGraphBuilder::new("g", Seconds::new(1.0));
+        let a = g.add_task("a", tx);
+        let b = g.add_task("b", tx);
+        g.add_comm(a, b, 1.0).unwrap();
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        let sys =
+            System::new("s", omsm.build().unwrap(), arch.build().unwrap(), tech.build()).unwrap();
+        let mapping = SystemMapping::from_vecs(vec![vec![c0, c1]]);
+        let alloc = CoreAllocation::minimal(&sys, &mapping);
+        let err = schedule_mode(
+            &sys,
+            ModeId::new(0),
+            &mapping,
+            &alloc,
+            SchedulerOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchedError::NoRoute { .. }));
+    }
+
+    #[test]
+    fn scheduling_is_deterministic() {
+        let sys = testbed();
+        let mapping = cpu_mapping(&sys);
+        let a = run(&sys, &mapping);
+        let b = run(&sys, &mapping);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fifo_priority_is_supported() {
+        let sys = testbed();
+        let mapping = cpu_mapping(&sys);
+        let alloc = CoreAllocation::minimal(&sys, &mapping);
+        let s = schedule_mode(
+            &sys,
+            ModeId::new(0),
+            &mapping,
+            &alloc,
+            SchedulerOptions { priority: Priority::Fifo },
+        )
+        .unwrap();
+        // Same makespan on a single resource regardless of order.
+        assert!((s.makespan().as_millis() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gantt_rendering_mentions_resources_and_tasks() {
+        let sys = testbed();
+        let mut mapping = cpu_mapping(&sys);
+        mapping.set(ModeId::new(0), TaskId::new(1), PeId::new(1));
+        let s = run(&sys, &mapping);
+        let gantt = s.to_gantt_string(&sys);
+        assert!(gantt.contains("cpu"));
+        assert!(gantt.contains("hw"));
+        assert!(gantt.contains("bus"));
+        assert!(gantt.contains("xfer"));
+    }
+}

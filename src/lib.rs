@@ -1,0 +1,49 @@
+//! # momsynth — energy-efficient co-synthesis for multi-mode embedded systems
+//!
+//! A from-scratch reproduction of *“A Co-Design Methodology for
+//! Energy-Efficient Multi-Mode Embedded Systems with Consideration of Mode
+//! Execution Probabilities”* (Schmitz, Al-Hashimi, Eles — DATE 2003).
+//!
+//! Multi-mode embedded systems — a smart phone that is a GSM handset, an
+//! MP3 player and a digital camera in one device — spend very uneven
+//! amounts of time in their operational modes. This workspace implements
+//! the paper's co-synthesis flow, which exploits those *mode execution
+//! probabilities* during task mapping, core allocation, scheduling and
+//! dynamic voltage scaling to minimise the battery-relevant average power.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names.
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`model`] | task graphs, the operational mode state machine, architectures, technology libraries |
+//! | [`sched`] | ASAP/ALAP mobility analysis, list scheduling, communication mapping |
+//! | [`dvs`]   | voltage/delay models, PV-DVS slack distribution, the Fig. 5 hardware transform |
+//! | [`power`] | Equation 1: probability-weighted average power with shut-down analysis |
+//! | [`ga`]    | the generic genetic-algorithm engine |
+//! | [`synthesis`] | the paper's contribution: multi-mode mapping GA with improvement operators |
+//! | [`generators`] | benchmark generators: mul1–mul12 suite, smart phone, motivational examples |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use momsynth::generators::examples::example1_system;
+//! use momsynth::synthesis::{SynthesisConfig, Synthesizer};
+//!
+//! // The paper's Fig. 2 two-mode motivational example.
+//! let system = example1_system();
+//! let config = SynthesisConfig::fast_preset(1);
+//! let result = Synthesizer::new(&system, config).run();
+//! assert!(result.best.is_feasible());
+//! println!("average power: {:.4} mW", result.best.power.average.as_milli());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use momsynth_core as synthesis;
+pub use momsynth_dvs as dvs;
+pub use momsynth_ga as ga;
+pub use momsynth_gen as generators;
+pub use momsynth_model as model;
+pub use momsynth_power as power;
+pub use momsynth_sched as sched;

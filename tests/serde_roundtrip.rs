@@ -1,0 +1,71 @@
+//! Serialisation round-trips across the public model and result types:
+//! systems (all three sub-models), mappings, allocations, schedules and
+//! power reports survive JSON.
+
+use momsynth::generators::smartphone::smartphone;
+use momsynth::generators::suite::mul;
+use momsynth::model::ids::PeId;
+use momsynth::model::System;
+use momsynth::power::{power_report, ModeImplementation, PowerReport};
+use momsynth::sched::{
+    schedule_mode, CoreAllocation, Schedule, SchedulerOptions, SystemMapping,
+};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    serde_json::from_str(&serde_json::to_string(value).expect("serialises"))
+        .expect("deserialises")
+}
+
+#[test]
+fn suite_systems_round_trip() {
+    for n in [1, 6, 12] {
+        let system = mul(n);
+        let back: System = roundtrip(&system);
+        assert_eq!(back, system);
+    }
+}
+
+#[test]
+fn smartphone_round_trips() {
+    let phone = smartphone();
+    let back: System = roundtrip(&phone);
+    assert_eq!(back, phone);
+}
+
+#[test]
+fn implementation_artifacts_round_trip() {
+    let system = mul(9);
+    let mapping = SystemMapping::from_fn(&system, |_| PeId::new(0));
+    let back: SystemMapping = roundtrip(&mapping);
+    assert_eq!(back, mapping);
+
+    let alloc = CoreAllocation::minimal(&system, &mapping);
+    let back: CoreAllocation = roundtrip(&alloc);
+    assert_eq!(back, alloc);
+
+    let schedules: Vec<Schedule> = system
+        .omsm()
+        .mode_ids()
+        .map(|m| schedule_mode(&system, m, &mapping, &alloc, SchedulerOptions::default()).unwrap())
+        .collect();
+    for s in &schedules {
+        let back: Schedule = roundtrip(s);
+        assert_eq!(&back, s);
+    }
+
+    let imps: Vec<ModeImplementation> = schedules.iter().map(ModeImplementation::nominal).collect();
+    let report = power_report(&system, &imps);
+    let back: PowerReport = roundtrip(&report);
+    assert_eq!(back, report);
+}
+
+#[test]
+fn pretty_json_is_stable() {
+    let system = mul(2);
+    let a = serde_json::to_string_pretty(&system).unwrap();
+    let b = serde_json::to_string_pretty(&roundtrip::<System>(&system)).unwrap();
+    assert_eq!(a, b);
+}
