@@ -99,7 +99,7 @@ fn measure(
     let mut power = 0.0;
     let mut feasible = 0u64;
     for i in 0..options.runs {
-        let result = Synthesizer::new(system, make(options.base_seed + i)).run();
+        let result = Synthesizer::new(system, make(options.base_seed + i)).run().expect("schedulable system");
         power += result.best.power.average.as_milli();
         if result.best.is_feasible() {
             feasible += 1;

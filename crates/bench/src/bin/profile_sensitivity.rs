@@ -74,7 +74,7 @@ fn main() {
         let result = (0..options.runs)
             .map(|i| {
                 let cfg = options.config(options.base_seed + i, true, true);
-                Synthesizer::new(system, cfg).run()
+                Synthesizer::new(system, cfg).run().expect("schedulable system")
             })
             .min_by(|a, b| a.best.fitness.total_cmp(&b.best.fitness))
             .expect("at least one run");

@@ -125,7 +125,7 @@ pub fn compare_flows(system: &System, dvs: bool, options: &HarnessOptions) -> Co
         for i in 0..options.runs {
             let cfg = options.config(options.base_seed + i, aware, dvs);
             let start = Instant::now();
-            let result = Synthesizer::new(system, cfg).run();
+            let result = Synthesizer::new(system, cfg).run().expect("schedulable system");
             time_sum += start.elapsed().as_secs_f64();
             power_sum += result.best.power.average.as_milli();
             if result.best.is_feasible() {

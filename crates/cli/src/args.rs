@@ -46,7 +46,8 @@ pub enum Command {
         output: String,
     },
     /// `synth <system.json> [--dvs] [--neglect-probabilities] [--seed S]
-    /// [--quick] [-o solution.json]`.
+    /// [--quick] [--max-seconds T] [--max-evals N] [--checkpoint file]
+    /// [--checkpoint-every N] [--resume file] [-o solution.json]`.
     Synth {
         /// Path of the system specification.
         path: String,
@@ -58,6 +59,16 @@ pub enum Command {
         seed: u64,
         /// Use the fast preset.
         quick: bool,
+        /// Wall-clock budget in seconds.
+        max_seconds: Option<f64>,
+        /// Fitness-evaluation budget.
+        max_evals: Option<usize>,
+        /// File to periodically checkpoint the GA state to.
+        checkpoint: Option<String>,
+        /// Checkpoint period in generations.
+        checkpoint_every: usize,
+        /// Checkpoint file to resume from.
+        resume: Option<String>,
         /// Where to write the solution report (`-` = stdout only).
         output: Option<String>,
         /// Directory to write per-mode VCD traces into.
@@ -212,6 +223,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut neglect = false;
             let mut seed = 0;
             let mut quick = false;
+            let mut max_seconds = None;
+            let mut max_evals = None;
+            let mut checkpoint = None;
+            let mut checkpoint_every = 10;
+            let mut resume = None;
             let mut output = None;
             let mut vcd = None;
             let mut i = 2;
@@ -225,6 +241,33 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .parse()
                             .map_err(|_| ParseError("invalid --seed".into()))?;
                     }
+                    "--max-seconds" => {
+                        let v: f64 = take_value(args, &mut i, "--max-seconds")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --max-seconds".into()))?;
+                        if !v.is_finite() || v < 0.0 {
+                            return Err(ParseError("invalid --max-seconds".into()));
+                        }
+                        max_seconds = Some(v);
+                    }
+                    "--max-evals" => {
+                        max_evals = Some(
+                            take_value(args, &mut i, "--max-evals")?
+                                .parse()
+                                .map_err(|_| ParseError("invalid --max-evals".into()))?,
+                        );
+                    }
+                    "--checkpoint" => {
+                        checkpoint = Some(take_value(args, &mut i, "--checkpoint")?.to_owned());
+                    }
+                    "--checkpoint-every" => {
+                        checkpoint_every = take_value(args, &mut i, "--checkpoint-every")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --checkpoint-every".into()))?;
+                    }
+                    "--resume" => {
+                        resume = Some(take_value(args, &mut i, "--resume")?.to_owned());
+                    }
                     "-o" | "--output" => {
                         output = Some(take_value(args, &mut i, "--output")?.to_owned());
                     }
@@ -235,7 +278,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 }
                 i += 1;
             }
-            Ok(Command::Synth { path, dvs, neglect, seed, quick, output, vcd })
+            Ok(Command::Synth {
+                path,
+                dvs,
+                neglect,
+                seed,
+                quick,
+                max_seconds,
+                max_evals,
+                checkpoint,
+                checkpoint_every,
+                resume,
+                output,
+                vcd,
+            })
         }
         other => Err(ParseError(format!("unknown command `{other}` (try `momsynth help`)"))),
     }
@@ -257,8 +313,24 @@ COMMANDS:
     convert <spec.tgff>      import a TGFF-dialect specification [-o file]
     synth <system.json>      run co-synthesis (--dvs,
                              --neglect-probabilities, --seed S, --quick,
+                             --max-seconds T, --max-evals N,
+                             --checkpoint file [--checkpoint-every N],
+                             --resume file,
                              -o solution.json, --vcd trace_dir)
     help                     show this text
+
+SYNTH BUDGETS AND RESILIENCE:
+    --max-seconds / --max-evals stop the search once the budget is spent
+    and still report the best solution found so far. Ctrl-C does the same
+    (exit code 3). --checkpoint saves the GA state every N generations
+    (default 10); --resume continues from such a file with the same system
+    and seed.
+
+EXIT CODES:
+    0  success, best solution feasible
+    1  usage, load or synthesis error
+    2  finished, but the best solution violates constraints
+    3  cancelled (Ctrl-C); best-so-far solution was reported
 ";
 
 #[cfg(test)]
@@ -343,12 +415,47 @@ mod tests {
                 neglect: true,
                 seed: 4,
                 quick: true,
+                max_seconds: None,
+                max_evals: None,
+                checkpoint: None,
+                checkpoint_every: 10,
+                resume: None,
                 output: Some("sol.json".into()),
                 vcd: Some("traces".into()),
             }
         );
         assert!(parse(&argv("synth")).is_err());
         assert!(parse(&argv("synth s.json --bogus")).is_err());
+    }
+
+    #[test]
+    fn synth_resilience_flags_parse() {
+        let cmd = parse(&argv(
+            "synth s.json --max-seconds 1.5 --max-evals 500 \
+             --checkpoint cp.json --checkpoint-every 3 --resume old.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Synth {
+                max_seconds,
+                max_evals,
+                checkpoint,
+                checkpoint_every,
+                resume,
+                ..
+            } => {
+                assert_eq!(max_seconds, Some(1.5));
+                assert_eq!(max_evals, Some(500));
+                assert_eq!(checkpoint.as_deref(), Some("cp.json"));
+                assert_eq!(checkpoint_every, 3);
+                assert_eq!(resume.as_deref(), Some("old.json"));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse(&argv("synth s.json --max-seconds nope")).is_err());
+        assert!(parse(&argv("synth s.json --max-seconds -2")).is_err());
+        assert!(parse(&argv("synth s.json --max-evals -1")).is_err());
+        assert!(parse(&argv("synth s.json --checkpoint")).is_err());
     }
 
     #[test]

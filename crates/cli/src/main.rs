@@ -4,17 +4,71 @@
 //! specifications are the JSON serialisation of
 //! [`momsynth_model::System`]; the `generate` subcommand produces them and
 //! `synth` consumes them.
+//!
+//! # Exit codes
+//!
+//! | code | meaning                                                    |
+//! |------|------------------------------------------------------------|
+//! | 0    | success; for `synth`, the best solution is feasible        |
+//! | 1    | usage error, unreadable/invalid input, or synthesis failure|
+//! | 2    | `synth` finished but the best solution violates constraints|
+//! | 3    | `synth` was cancelled (Ctrl-C); best-so-far was reported   |
 
 mod args;
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use momsynth_core::{SynthesisConfig, Synthesizer};
+use momsynth_core::{
+    Checkpoint, CheckpointSpec, StopReason, SynthControl, SynthesisConfig, Synthesizer,
+};
 use momsynth_gen::suite::{generate, mul, GeneratorParams};
 use momsynth_model::{dot, lint, System};
 use momsynth_power::energy_breakdown;
 
 use args::{parse, Command, DotTarget, HELP};
+
+/// `synth` finished but the best solution violates constraints.
+const EXIT_INFEASIBLE: u8 = 2;
+/// `synth` was cancelled (Ctrl-C) and reported its best-so-far solution.
+const EXIT_CANCELLED: u8 = 3;
+
+/// Cooperative Ctrl-C handling: the first SIGINT raises a stop flag the
+/// synthesis loop polls between evaluations, so the run winds down and
+/// still reports (and checkpoints) its best-so-far solution.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Raised by the signal handler, polled by the synthesis loop.
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    extern "C" fn handle(_: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGINT handler (idempotent).
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, handle);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use std::sync::atomic::AtomicBool;
+
+    /// Never raised on platforms without the Unix signal shim.
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    /// No-op.
+    pub fn install() {}
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -26,7 +80,7 @@ fn main() -> ExitCode {
         }
     };
     match run(command) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -50,11 +104,11 @@ fn write_output(path: &str, contents: &str) -> Result<(), Box<dyn std::error::Er
     Ok(())
 }
 
-fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
+fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
     match command {
         Command::Help => {
             print!("{HELP}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Info { path } => {
             let system = load_system(&path)?;
@@ -81,7 +135,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 println!("lint: {} warning(s) — run `momsynth lint`", warnings.len());
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Lint { path } => {
             let system = load_system(&path)?;
@@ -92,7 +146,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             for w in warnings {
                 println!("warning: {w}");
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Dot { path, what } => {
             let system = load_system(&path)?;
@@ -113,7 +167,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 }
             };
             print!("{text}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Convert { path, output } => {
             let text = std::fs::read_to_string(&path)
@@ -126,7 +180,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             let json = serde_json::to_string_pretty(&system)?;
             write_output(&output, &json)?;
             eprintln!("{}", system.summary());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Command::Generate { preset, seed, modes, output } => {
             let system = match preset {
@@ -140,9 +194,22 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             let json = serde_json::to_string_pretty(&system)?;
             write_output(&output, &json)?;
             eprintln!("{}", system.summary());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        Command::Synth { path, dvs, neglect, seed, quick, output, vcd } => {
+        Command::Synth {
+            path,
+            dvs,
+            neglect,
+            seed,
+            quick,
+            max_seconds,
+            max_evals,
+            checkpoint,
+            checkpoint_every,
+            resume,
+            output,
+            vcd,
+        } => {
             let system = load_system(&path)?;
             let mut config = if quick {
                 SynthesisConfig::fast_preset(seed)
@@ -153,13 +220,28 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             if dvs {
                 config = config.with_dvs();
             }
+            config.ga.max_seconds = max_seconds;
+            config.ga.max_evaluations = max_evals;
+            let resume = match resume {
+                Some(p) => Some(Checkpoint::load(Path::new(&p))?),
+                None => None,
+            };
+            sigint::install();
+            let control = SynthControl {
+                stop: Some(&sigint::STOP),
+                checkpoint: checkpoint.map(|p| CheckpointSpec {
+                    path: PathBuf::from(p),
+                    every: checkpoint_every,
+                }),
+                resume,
+            };
             eprintln!(
                 "synthesising `{}` ({}, {}) …",
                 system.name(),
                 if neglect { "probability-neglecting" } else { "probability-aware" },
                 if dvs { "DVS" } else { "fixed voltage" },
             );
-            let result = Synthesizer::new(&system, config).run();
+            let result = Synthesizer::new(&system, config).run_controlled(control)?;
             println!(
                 "average power: {:.6} mW  (feasible: {}, {} generations, {} evaluations, {:.2} s)",
                 result.best.power.average.as_milli(),
@@ -168,6 +250,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 result.evaluations,
                 result.wall_time.as_secs_f64(),
             );
+            println!("stopped: {} ({} rejected evaluations)", result.stop_reason, result.rejected);
             println!("mapping: {}", result.best.mapping.mapping_string());
             print!("{}", result.best.power);
 
@@ -227,10 +310,18 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                     "power": result.best.power,
                     "generations": result.generations,
                     "evaluations": result.evaluations,
+                    "rejected": result.rejected,
+                    "stop_reason": result.stop_reason.to_string(),
                 });
                 write_output(&path, &serde_json::to_string_pretty(&report)?)?;
             }
-            Ok(())
+            Ok(if result.stop_reason == StopReason::Cancelled {
+                ExitCode::from(EXIT_CANCELLED)
+            } else if !result.best.is_feasible() {
+                ExitCode::from(EXIT_INFEASIBLE)
+            } else {
+                ExitCode::SUCCESS
+            })
         }
     }
 }

@@ -134,8 +134,152 @@ fn convert_reports_parse_errors_with_lines() {
 #[test]
 fn synth_on_missing_file_fails_cleanly() {
     let out = momsynth(&["synth", "/nonexistent/system.json", "--quick"]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "load errors exit with code 1");
     assert!(stderr(&out).contains("cannot read"));
+}
+
+#[test]
+fn usage_errors_exit_with_code_1() {
+    assert_eq!(momsynth(&["frobnicate"]).status.code(), Some(1));
+    assert_eq!(momsynth(&["synth"]).status.code(), Some(1));
+    assert_eq!(momsynth(&["synth", "s.json", "--max-seconds", "nope"]).status.code(), Some(1));
+}
+
+/// A single 10 ms software task against a 1 ms period: synthesis finishes
+/// but no mapping can be feasible, so `synth` must exit with code 2.
+fn infeasible_system_json() -> String {
+    use momsynth_model::units::{Seconds, Watts};
+    use momsynth_model::{
+        ArchitectureBuilder, OmsmBuilder, Pe, PeKind, System, TaskGraphBuilder, TechLibraryBuilder,
+    };
+    let mut tech = TechLibraryBuilder::new();
+    let ty = tech.add_type("T");
+    let mut arch = ArchitectureBuilder::new();
+    let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::from_milli(0.1)));
+    tech.set_impl(
+        ty,
+        cpu,
+        momsynth_model::Implementation::software(
+            Seconds::from_millis(10.0),
+            Watts::from_milli(20.0),
+        ),
+    );
+    let mut g = TaskGraphBuilder::new("m", Seconds::from_millis(1.0));
+    g.add_task("t", ty);
+    let mut omsm = OmsmBuilder::new();
+    omsm.add_mode("m", 1.0, g.build().unwrap());
+    let system =
+        System::new("overload", omsm.build().unwrap(), arch.build().unwrap(), tech.build())
+            .unwrap();
+    serde_json::to_string_pretty(&system).unwrap()
+}
+
+#[test]
+fn infeasible_best_solution_exits_with_code_2() {
+    let sys_path = tmp_file("infeasible.json");
+    std::fs::write(&sys_path, infeasible_system_json()).expect("write");
+    let out = momsynth(&["synth", sys_path.to_str().expect("utf-8"), "--quick"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("feasible: false"), "{text}");
+    assert!(text.contains("stopped:"), "{text}");
+    std::fs::remove_file(&sys_path).ok();
+}
+
+#[test]
+fn evaluation_budget_reports_stop_reason() {
+    let sys_path = tmp_file("budget_sys.json");
+    let sys_str = sys_path.to_str().expect("utf-8 temp path");
+    let out = momsynth(&["generate", "--preset", "mul9", "-o", sys_str]);
+    assert!(out.status.success());
+
+    let out = momsynth(&["synth", sys_str, "--quick", "--seed", "1", "--max-evals", "30"]);
+    // Feasibility of the truncated best is system-dependent; either way
+    // the run must report a well-formed result tagged with the budget.
+    assert!(matches!(out.status.code(), Some(0 | 2)), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("evaluation budget exhausted"), "{text}");
+    assert!(text.contains("mapping:"), "{text}");
+
+    std::fs::remove_file(&sys_path).ok();
+}
+
+#[test]
+fn checkpoint_resume_reproduces_uninterrupted_mapping() {
+    let sys_path = tmp_file("cp_sys.json");
+    let cp_path = tmp_file("cp.json");
+    let sys_str = sys_path.to_str().expect("utf-8 temp path");
+    let cp_str = cp_path.to_str().expect("utf-8 temp path");
+    let out = momsynth(&["generate", "--preset", "mul9", "-o", sys_str]);
+    assert!(out.status.success());
+
+    let mapping_line = |out: &Output| {
+        stdout(out)
+            .lines()
+            .find(|l| l.starts_with("mapping:"))
+            .expect("mapping line")
+            .to_owned()
+    };
+
+    let full = momsynth(&["synth", sys_str, "--quick", "--seed", "7"]);
+    assert!(full.status.success(), "{}", stderr(&full));
+
+    // Interrupt an identical run mid-flight, checkpointing every
+    // generation …
+    let cut = momsynth(&[
+        "synth", sys_str, "--quick", "--seed", "7", "--max-evals", "60", "--checkpoint", cp_str,
+        "--checkpoint-every", "1",
+    ]);
+    assert!(matches!(cut.status.code(), Some(0 | 2)), "{}", stderr(&cut));
+    assert!(cp_path.exists(), "checkpoint must have been written");
+
+    // … then resume without the budget: the final mapping must match the
+    // uninterrupted run's.
+    let resumed =
+        momsynth(&["synth", sys_str, "--quick", "--seed", "7", "--resume", cp_str]);
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    assert_eq!(mapping_line(&full), mapping_line(&resumed));
+
+    // Resuming against the wrong seed is a clean, typed failure.
+    let mismatched =
+        momsynth(&["synth", sys_str, "--quick", "--seed", "8", "--resume", cp_str]);
+    assert_eq!(mismatched.status.code(), Some(1));
+    assert!(stderr(&mismatched).contains("seed"), "{}", stderr(&mismatched));
+
+    std::fs::remove_file(&sys_path).ok();
+    std::fs::remove_file(&cp_path).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_reports_best_so_far_and_exits_with_code_3() {
+    let sys_path = tmp_file("sigint_sys.json");
+    let sys_str = sys_path.to_str().expect("utf-8 temp path");
+    let out = momsynth(&["generate", "--seed", "1", "--modes", "10", "-o", sys_str]);
+    assert!(out.status.success());
+
+    // Full-size (non --quick) synthesis on a 10-mode system runs for many
+    // seconds — ample time to interrupt it.
+    let child = Command::new(env!("CARGO_BIN_EXE_momsynth"))
+        .args(["synth", sys_str, "--seed", "0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    std::thread::sleep(std::time::Duration::from_millis(1000));
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success());
+    let out = child.wait_with_output().expect("child exits");
+
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("stopped: cancelled"), "{text}");
+    assert!(text.contains("mapping:"), "{text}");
+
+    std::fs::remove_file(&sys_path).ok();
 }
 
 #[test]

@@ -68,6 +68,63 @@ impl DvsSynthesisOptions {
     }
 }
 
+/// A fault injected into one candidate evaluation by [`FaultInjection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The evaluator panics.
+    Panic,
+    /// The evaluator reports a NaN fitness.
+    Nan,
+    /// The evaluator returns a scheduling error.
+    Err,
+}
+
+/// Deterministic fault injection into candidate evaluation (chaos
+/// testing).
+///
+/// Each rate is the probability (in `[0, 1]`) that an evaluation fails in
+/// the corresponding way. The decision is a pure function of the genome
+/// and `seed` — the same candidate always fails the same way regardless of
+/// evaluation order — so faulty runs stay reproducible and
+/// checkpoint/resume equivalence holds even under injected faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjection {
+    /// Probability that an evaluation panics.
+    pub panic_rate: f64,
+    /// Probability that an evaluation produces a NaN fitness.
+    pub nan_rate: f64,
+    /// Probability that an evaluation returns a scheduling error.
+    pub err_rate: f64,
+    /// Seed decorrelating the fault pattern from the GA seed.
+    pub seed: u64,
+}
+
+impl FaultInjection {
+    /// Decides whether (and how) the evaluation of `genome` fails.
+    pub fn roll(&self, genome: &[u16]) -> Option<InjectedFault> {
+        // FNV-1a over the seed and the genes, finished with a SplitMix
+        // mix so low-entropy genomes still spread over [0, 1).
+        let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        for &gene in genome {
+            hash = (hash ^ u64::from(gene)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut z = hash.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        if unit < self.panic_rate {
+            Some(InjectedFault::Panic)
+        } else if unit < self.panic_rate + self.nan_rate {
+            Some(InjectedFault::Nan)
+        } else if unit < self.panic_rate + self.nan_rate + self.err_rate {
+            Some(InjectedFault::Err)
+        } else {
+            None
+        }
+    }
+}
+
 /// Complete configuration of a synthesis run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SynthesisConfig {
@@ -94,6 +151,9 @@ pub struct SynthesisConfig {
     /// the final refinement (memetic polish; set `max_passes` to 0 to
     /// disable).
     pub local_search: LocalSearchOptions,
+    /// Deterministic evaluator fault injection for chaos testing; `None`
+    /// (the default) evaluates faithfully.
+    pub fault_injection: Option<FaultInjection>,
 }
 
 impl SynthesisConfig {
@@ -108,6 +168,7 @@ impl SynthesisConfig {
             scheduler: SchedulerOptions::default(),
             improvement_operators: true,
             local_search: LocalSearchOptions::default(),
+            fault_injection: None,
         }
     }
 
@@ -170,6 +231,23 @@ mod tests {
         let full = SynthesisConfig::new(0);
         assert!(fast.ga.population_size < full.ga.population_size);
         assert!(fast.ga.max_generations < full.ga.max_generations);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_genome() {
+        let fault = FaultInjection { panic_rate: 0.2, nan_rate: 0.2, err_rate: 0.2, seed: 7 };
+        for genome in [vec![0u16, 1, 2], vec![3, 3], vec![]] {
+            assert_eq!(fault.roll(&genome), fault.roll(&genome));
+        }
+        // Roughly 60% of random genomes should draw some fault.
+        let faulty = (0..1000u16)
+            .filter(|&i| fault.roll(&[i, i.wrapping_mul(31)]).is_some())
+            .count();
+        assert!((450..750).contains(&faulty), "{faulty}");
+        let none = FaultInjection { panic_rate: 0.0, nan_rate: 0.0, err_rate: 0.0, seed: 7 };
+        assert_eq!(none.roll(&[1, 2, 3]), None);
+        let always = FaultInjection { panic_rate: 1.0, nan_rate: 0.0, err_rate: 0.0, seed: 7 };
+        assert_eq!(always.roll(&[1, 2, 3]), Some(InjectedFault::Panic));
     }
 
     #[test]

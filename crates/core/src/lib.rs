@@ -28,12 +28,13 @@
 //!
 //! let system = get_system();
 //! let config = SynthesisConfig::new(42).with_dvs();
-//! let result = Synthesizer::new(&system, config).run();
+//! let result = Synthesizer::new(&system, config).run().expect("schedulable system");
 //! println!(
-//!     "best: {:.4} mW ({} generations, feasible: {})",
+//!     "best: {:.4} mW ({} generations, feasible: {}, stopped: {})",
 //!     result.best.power.average.as_milli(),
 //!     result.generations,
 //!     result.best.is_feasible(),
+//!     result.stop_reason,
 //! );
 //! ```
 
@@ -41,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod alloc;
+pub mod checkpoint;
 pub mod config;
 pub mod fitness;
 pub mod genome;
@@ -50,10 +52,14 @@ pub mod synthesis;
 pub mod transition;
 
 pub use alloc::{derive_allocation, AllocOptions};
-pub use config::{DvsSynthesisOptions, PenaltyWeights, SynthesisConfig};
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
+pub use config::{
+    DvsSynthesisOptions, FaultInjection, InjectedFault, PenaltyWeights, SynthesisConfig,
+};
 pub use fitness::{AreaOverrun, Evaluator, Solution};
 pub use genome::{Gene, GenomeLayout};
 pub use improve::{improve_random, ImprovementOp};
-pub use local_search::{polish, LocalSearchOptions, LocalSearchStats};
-pub use synthesis::{SynthesisResult, Synthesizer};
+pub use local_search::{polish, LocalSearchOptions, LocalSearchStats, PolishControl};
+pub use momsynth_ga::StopReason;
+pub use synthesis::{CheckpointSpec, SynthControl, SynthesisError, SynthesisResult, Synthesizer};
 pub use transition::{transition_timings, TransitionTiming};

@@ -9,8 +9,13 @@
 //! hardware the mode does not need — which the probability-weighted
 //! fitness is nearly blind to during evolution.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use momsynth_ga::REJECTED_COST;
 
 use crate::fitness::Evaluator;
 use crate::genome::{Gene, GenomeLayout};
@@ -29,6 +34,28 @@ impl Default for LocalSearchOptions {
     }
 }
 
+/// Cooperative interruption controls for [`polish`]. The default never
+/// interrupts. All limits are checked between candidate evaluations, so
+/// an interrupted polish costs at most one extra evaluation and always
+/// leaves `genes` in a valid, no-worse-than-input state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolishControl<'a> {
+    /// Cancellation flag (e.g. raised by a Ctrl-C handler).
+    pub stop: Option<&'a AtomicBool>,
+    /// Wall-clock deadline.
+    pub deadline: Option<Instant>,
+    /// Cap on candidate evaluations for this polish stage.
+    pub max_evaluations: Option<usize>,
+}
+
+impl PolishControl<'_> {
+    fn interrupted(&self, evaluations: usize) -> bool {
+        self.stop.is_some_and(|f| f.load(Ordering::Relaxed))
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.max_evaluations.is_some_and(|m| evaluations >= m)
+    }
+}
+
 /// The outcome of a polish run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalSearchStats {
@@ -40,12 +67,18 @@ pub struct LocalSearchStats {
     pub fitness_before: f64,
     /// Final fitness.
     pub fitness_after: f64,
+    /// `true` if the polish was cut short by its [`PolishControl`].
+    pub interrupted: bool,
 }
 
 /// Polishes `genes` in place; returns statistics.
 ///
 /// `dvs` selects the voltage-scaling resolution used to price candidate
 /// moves (usually the coarse evaluation options of the synthesis config).
+/// Candidates whose evaluation fails, panics or prices to a non-finite
+/// fitness are treated as [`REJECTED_COST`] and never accepted. `control`
+/// can interrupt the sweep between evaluations; the genome then keeps the
+/// best state reached so far.
 pub fn polish(
     evaluator: &Evaluator<'_>,
     layout: &GenomeLayout,
@@ -53,22 +86,27 @@ pub fn polish(
     dvs: Option<&DvsOptions>,
     options: &LocalSearchOptions,
     seed: u64,
+    control: &PolishControl<'_>,
 ) -> LocalSearchStats {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut evaluations = 0usize;
     let cost = |genes: &[Gene], evals: &mut usize| -> f64 {
         *evals += 1;
-        evaluator
-            .evaluate(layout.decode(genes), dvs)
-            .map(|s| s.fitness)
-            .unwrap_or(f64::MAX / 4.0)
+        let priced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            evaluator.evaluate(layout.decode(genes), dvs).map(|s| s.fitness)
+        }));
+        match priced {
+            Ok(Ok(fitness)) if fitness.is_finite() => fitness,
+            _ => REJECTED_COST,
+        }
     };
 
     let mut current = cost(genes, &mut evaluations);
     let fitness_before = current;
     let mut moves_accepted = 0usize;
+    let mut interrupted = false;
 
-    for _ in 0..options.max_passes {
+    'passes: for _ in 0..options.max_passes {
         let mut improved = false;
         // Random sweep order avoids systematic bias across passes.
         let mut order: Vec<usize> = (0..layout.len()).collect();
@@ -85,6 +123,11 @@ pub fn polish(
             for alt in 0..alternatives as Gene {
                 if alt == original {
                     continue;
+                }
+                if control.interrupted(evaluations) {
+                    genes[locus] = original;
+                    interrupted = true;
+                    break 'passes;
                 }
                 genes[locus] = alt;
                 let c = cost(genes, &mut evaluations);
@@ -112,6 +155,7 @@ pub fn polish(
         evaluations,
         fitness_before,
         fitness_after: current,
+        interrupted,
     }
 }
 
@@ -146,6 +190,7 @@ mod tests {
                 None,
                 &LocalSearchOptions::default(),
                 seed,
+                &PolishControl::default(),
             );
             assert!(stats.fitness_after <= stats.fitness_before);
             // Result must still decode to a valid mapping.
@@ -170,6 +215,7 @@ mod tests {
             None,
             &LocalSearchOptions::default(),
             0,
+            &PolishControl::default(),
         );
         assert!(stats.moves_accepted > 0, "random genome should be improvable");
         assert!(stats.fitness_after < stats.fitness_before);
@@ -191,6 +237,7 @@ mod tests {
             None,
             &LocalSearchOptions { max_passes: 0 },
             0,
+            &PolishControl::default(),
         );
         assert_eq!(genes, before);
         assert_eq!(stats.moves_accepted, 0);
@@ -209,8 +256,9 @@ mod tests {
             .map(|(l, _)| 1u16.min(layout.candidates(l).len() as u16 - 1))
             .collect();
         let mut b = a.clone();
-        let sa = polish(&evaluator, &layout, &mut a, None, &LocalSearchOptions::default(), 9);
-        let sb = polish(&evaluator, &layout, &mut b, None, &LocalSearchOptions::default(), 9);
+        let ctl = PolishControl::default();
+        let sa = polish(&evaluator, &layout, &mut a, None, &LocalSearchOptions::default(), 9, &ctl);
+        let sb = polish(&evaluator, &layout, &mut b, None, &LocalSearchOptions::default(), 9, &ctl);
         assert_eq!(a, b);
         assert_eq!(sa, sb);
     }

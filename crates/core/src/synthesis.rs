@@ -7,19 +7,43 @@
 //! [`GenomeLayout`], [`Evaluator`] and improvement operators into the
 //! generic GA engine and refines the winning candidate with fine-grained
 //! voltage scaling.
+//!
+//! # Failure semantics
+//!
+//! The driver is designed to always come back with either a well-formed
+//! [`SynthesisResult`] or a typed [`SynthesisError`]:
+//!
+//! - Candidate evaluations that fail, panic or price to a non-finite
+//!   fitness are isolated with [`std::panic::catch_unwind`], charged
+//!   [`REJECTED_COST`] and counted in [`SynthesisResult::rejected`]; the
+//!   run continues.
+//! - Budgets ([`momsynth_ga::GaConfig::max_seconds`],
+//!   [`momsynth_ga::GaConfig::max_evaluations`]) and a cooperative stop
+//!   flag degrade the run gracefully: the engine stops mid-generation and
+//!   the best-so-far solution is still refined and returned, tagged with
+//!   an accurate [`StopReason`].
+//! - If even the final refinement of the winner fails, the driver falls
+//!   back to the all-software seed mapping; only when that fails too does
+//!   it return [`SynthesisError::Unschedulable`].
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use rand::{Rng, RngCore};
 
-use momsynth_ga::{GaConfig, GaProblem};
+use momsynth_ga::{GaConfig, GaProblem, GaSnapshot, RunControl, StopReason, REJECTED_COST};
 use momsynth_model::System;
 
-use crate::config::SynthesisConfig;
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::config::{InjectedFault, SynthesisConfig};
 use crate::fitness::{Evaluator, Solution};
 use crate::genome::{Gene, GenomeLayout};
 use crate::improve::improve_random;
-use crate::local_search::{polish, LocalSearchOptions};
+use crate::local_search::{polish, LocalSearchOptions, PolishControl};
+use momsynth_dvs::DvsOptions;
 
 /// The outcome of a synthesis run.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,10 +54,76 @@ pub struct SynthesisResult {
     pub generations: usize,
     /// Fitness evaluations performed.
     pub evaluations: usize,
+    /// Candidate evaluations rejected because they errored, panicked or
+    /// priced to a non-finite fitness.
+    pub rejected: usize,
     /// Best fitness after each generation.
     pub history: Vec<f64>,
+    /// Why the optimisation stopped.
+    pub stop_reason: StopReason,
     /// Wall-clock optimisation time.
     pub wall_time: Duration,
+}
+
+/// A synthesis run failed in a way no fallback could absorb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// Neither the GA's winner nor the all-software fallback mapping
+    /// could be scheduled — the system specification admits no routable
+    /// implementation (or the evaluator fails persistently).
+    Unschedulable {
+        /// Why the best genome's final evaluation failed.
+        best: String,
+        /// Why the all-software fallback failed as well.
+        fallback: String,
+    },
+    /// A resume checkpoint could not be applied to this run.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unschedulable { best, fallback } => write!(
+                f,
+                "no schedulable implementation: best genome failed ({best}), \
+                 all-software fallback failed ({fallback})"
+            ),
+            Self::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl From<CheckpointError> for SynthesisError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+/// Periodic checkpointing of a synthesis run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// File the checkpoint JSON is (atomically) written to.
+    pub path: PathBuf,
+    /// Save every this many generations (0 is treated as 1).
+    pub every: usize,
+}
+
+/// Resilience controls for [`Synthesizer::run_controlled`]. The default
+/// runs to completion without checkpoints, like [`Synthesizer::run`].
+#[derive(Debug, Default)]
+pub struct SynthControl<'a> {
+    /// Cooperative cancellation flag (e.g. raised by a Ctrl-C handler);
+    /// checked between evaluations by both the GA and the polish stage.
+    pub stop: Option<&'a AtomicBool>,
+    /// Periodically checkpoint the GA state to a file. Save failures are
+    /// reported on stderr but never abort the run.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Resume from a previously saved checkpoint instead of a fresh
+    /// population. Validated against the loaded system and seed.
+    pub resume: Option<Checkpoint>,
 }
 
 /// Multi-mode mapping as a [`GaProblem`].
@@ -43,6 +133,27 @@ struct MappingProblem<'a> {
     evaluator: &'a Evaluator<'a>,
     system: &'a System,
     config: &'a SynthesisConfig,
+    /// Evaluations rejected for faults (errors, panics, non-finite
+    /// fitness). `Cell` because [`GaProblem::cost`] takes `&self`.
+    rejected: Cell<usize>,
+}
+
+impl MappingProblem<'_> {
+    /// Prices one genome, injecting configured faults. `None` means the
+    /// evaluation failed cleanly (scheduling error); a panic unwinds.
+    fn evaluate_cost(&self, genome: &[Gene]) -> Option<f64> {
+        if let Some(fault) = &self.config.fault_injection {
+            match fault.roll(genome) {
+                Some(InjectedFault::Panic) => panic!("injected evaluator panic"),
+                Some(InjectedFault::Nan) => return Some(f64::NAN),
+                Some(InjectedFault::Err) => return None,
+                None => {}
+            }
+        }
+        let mapping = self.layout.decode(genome);
+        let dvs = self.config.dvs.as_ref().map(|d| d.eval);
+        self.evaluator.evaluate(mapping, dvs.as_ref()).ok().map(|s| s.fitness)
+    }
 }
 
 impl GaProblem for MappingProblem<'_> {
@@ -56,14 +167,16 @@ impl GaProblem for MappingProblem<'_> {
         rng.gen_range(0..self.layout.candidates(locus).len()) as Gene
     }
 
+    /// Panic-isolated cost: errors, panics and non-finite fitness all
+    /// reject the individual with [`REJECTED_COST`] instead of taking the
+    /// whole run down.
     fn cost(&self, genome: &[Gene]) -> f64 {
-        let mapping = self.layout.decode(genome);
-        let dvs = self.config.dvs.as_ref().map(|d| d.eval);
-        match self.evaluator.evaluate(mapping, dvs.as_ref()) {
-            Ok(solution) => solution.fitness,
-            // Unroutable mapping (incomplete communication topology):
-            // effectively reject the individual.
-            Err(_) => f64::MAX / 4.0,
+        match catch_unwind(AssertUnwindSafe(|| self.evaluate_cost(genome))) {
+            Ok(Some(fitness)) if fitness.is_finite() => fitness,
+            _ => {
+                self.rejected.set(self.rejected.get() + 1);
+                REJECTED_COST
+            }
         }
     }
 
@@ -110,15 +223,34 @@ impl<'a> Synthesizer<'a> {
 
     /// Runs the GA and returns the refined best implementation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the best genome cannot be scheduled — impossible for
-    /// architectures where every PE pair hosting communicating tasks is
-    /// connected, because the genome only uses library-supported PEs and
-    /// the GA rejects unroutable candidates with a huge cost (a fully
-    /// disconnected architecture where *every* candidate is unroutable is
-    /// a specification error).
-    pub fn run(&self) -> SynthesisResult {
+    /// Returns [`SynthesisError::Unschedulable`] when neither the winning
+    /// genome nor the all-software fallback mapping can be scheduled —
+    /// possible only when the architecture cannot route *any* complete
+    /// mapping (a specification error) or the evaluator fails
+    /// persistently.
+    pub fn run(&self) -> Result<SynthesisResult, SynthesisError> {
+        self.run_controlled(SynthControl::default())
+    }
+
+    /// Like [`Synthesizer::run`], with cooperative cancellation,
+    /// checkpointing and resume.
+    ///
+    /// When the run is interrupted (stop flag, wall-clock or evaluation
+    /// budget) the best-so-far solution is still refined and returned;
+    /// [`SynthesisResult::stop_reason`] records why the run ended. On
+    /// resume, wall-clock budgets restart with this process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::Checkpoint`] if the resume checkpoint
+    /// does not match this system/seed, and
+    /// [`SynthesisError::Unschedulable`] as for [`Synthesizer::run`].
+    pub fn run_controlled(
+        &self,
+        control: SynthControl<'_>,
+    ) -> Result<SynthesisResult, SynthesisError> {
         let start = Instant::now();
         let layout = GenomeLayout::new(self.system);
         let evaluator = Evaluator::new(self.system, &self.config);
@@ -131,15 +263,59 @@ impl<'a> Synthesizer<'a> {
             evaluator: &evaluator,
             system: self.system,
             config: &self.config,
+            rejected: Cell::new(0),
         };
-        let outcome = momsynth_ga::run(&problem, &ga_config);
+
+        let resume = match control.resume {
+            Some(checkpoint) => {
+                checkpoint.validate(self.system, &layout, ga_config.seed)?;
+                Some(checkpoint.into_snapshot())
+            }
+            None => None,
+        };
+        type GenerationHook<'h> = Box<dyn FnMut(&GaSnapshot<Gene>) + 'h>;
+        let on_generation: Option<GenerationHook<'_>> =
+            control.checkpoint.as_ref().map(|spec| {
+                let every = spec.every.max(1);
+                let path = spec.path.clone();
+                let (system, layout, seed) = (self.system, &layout, ga_config.seed);
+                Box::new(move |snapshot: &GaSnapshot<Gene>| {
+                    if snapshot.generation.is_multiple_of(every) {
+                        let cp = Checkpoint::capture(system, layout, seed, snapshot);
+                        if let Err(e) = cp.save(&path) {
+                            // Checkpointing is best-effort: losing a
+                            // checkpoint must not lose the run.
+                            eprintln!("warning: checkpoint not saved: {e}");
+                        }
+                    }
+                }) as GenerationHook<'_>
+            });
+
+        let outcome = momsynth_ga::run_controlled(
+            &problem,
+            &ga_config,
+            RunControl { stop: control.stop, resume, on_generation },
+        );
 
         // Memetic polish: single-gene first-improvement sweeps remove the
         // drift artefacts evolution under skewed weights leaves behind.
+        // Skipped when the GA was already interrupted; otherwise it runs
+        // under the remaining budget.
         let mut genes = outcome.best.clone();
         let mut evaluations = outcome.evaluations;
-        if self.config.local_search != (LocalSearchOptions { max_passes: 0 }) {
+        let mut stop_reason = outcome.stop_reason;
+        let deadline = ga_config.max_seconds.map(|s| start + Duration::from_secs_f64(s));
+        if !stop_reason.is_interrupted()
+            && self.config.local_search != (LocalSearchOptions { max_passes: 0 })
+        {
             let dvs_eval = self.config.dvs.as_ref().map(|d| d.eval);
+            let polish_control = PolishControl {
+                stop: control.stop,
+                deadline,
+                max_evaluations: ga_config
+                    .max_evaluations
+                    .map(|m| m.saturating_sub(evaluations)),
+            };
             let stats = polish(
                 &evaluator,
                 &layout,
@@ -147,29 +323,93 @@ impl<'a> Synthesizer<'a> {
                 dvs_eval.as_ref(),
                 &self.config.local_search,
                 ga_config.seed,
+                &polish_control,
             );
             evaluations += stats.evaluations;
+            if stats.interrupted {
+                stop_reason = if control.stop.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                    StopReason::Cancelled
+                } else if deadline.is_some_and(|d| Instant::now() >= d) {
+                    StopReason::WallClock
+                } else {
+                    StopReason::EvaluationBudget
+                };
+            }
         }
 
-        let mapping = layout.decode(&genes);
         let refine = self.config.dvs.as_ref().map(|d| d.refine);
-        let best = evaluator
-            .evaluate(mapping, refine.as_ref())
-            .expect("best genome is schedulable");
+        let best = match self.evaluate_final(&evaluator, &layout, &genes, refine.as_ref()) {
+            Ok(solution) => solution,
+            Err(best_err) => {
+                // The winner cannot be scheduled (should only happen when
+                // every candidate was rejected): degrade to the trivial
+                // all-software seed mapping before giving up.
+                let fallback = problem.seeds().swap_remove(0);
+                match self.evaluate_final(&evaluator, &layout, &fallback, refine.as_ref()) {
+                    Ok(solution) => solution,
+                    Err(fallback_err) => {
+                        return Err(SynthesisError::Unschedulable {
+                            best: best_err,
+                            fallback: fallback_err,
+                        })
+                    }
+                }
+            }
+        };
 
-        SynthesisResult {
+        Ok(SynthesisResult {
             best,
             generations: outcome.generations,
             evaluations,
+            rejected: problem.rejected.get(),
             history: outcome.history,
+            stop_reason,
             wall_time: start.elapsed(),
+        })
+    }
+
+    /// Final (fine-DVS) evaluation with the same panic isolation and
+    /// fault injection as candidate pricing, reporting failures as text.
+    fn evaluate_final(
+        &self,
+        evaluator: &Evaluator<'_>,
+        layout: &GenomeLayout,
+        genes: &[Gene],
+        refine: Option<&DvsOptions>,
+    ) -> Result<Solution, String> {
+        if let Some(fault) = &self.config.fault_injection {
+            match fault.roll(genes) {
+                Some(InjectedFault::Panic) => return Err("injected evaluator panic".into()),
+                Some(InjectedFault::Nan) => return Err("injected NaN fitness".into()),
+                Some(InjectedFault::Err) => return Err("injected scheduling error".into()),
+                None => {}
+            }
         }
+        match catch_unwind(AssertUnwindSafe(|| {
+            evaluator.evaluate(layout.decode(genes), refine)
+        })) {
+            Ok(Ok(solution)) if solution.fitness.is_finite() => Ok(solution),
+            Ok(Ok(_)) => Err("non-finite fitness".into()),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(payload) => Err(panic_message(&payload)),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("evaluator panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("evaluator panicked: {s}")
+    } else {
+        "evaluator panicked".to_owned()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::FaultInjection;
     use momsynth_model::ids::{ModeId, PeId};
     use momsynth_model::units::{Cells, Seconds, Volts, Watts};
     use momsynth_model::{
@@ -232,13 +472,67 @@ mod tests {
             .unwrap()
     }
 
+    /// Every edge of this chain has *some* routable candidate pair, so
+    /// `System::new` accepts it, but no complete mapping is routable: `x`
+    /// lives on P0, `z` on P3, and `y` must sit on a bus with both — yet
+    /// `{P0, P1}` and `{P2, P3}` are disjoint buses.
+    fn unroutable_system() -> System {
+        let mut tech = TechLibraryBuilder::new();
+        let tx = tech.add_type("X");
+        let ty_ = tech.add_type("Y");
+        let tz = tech.add_type("Z");
+        let mut arch = ArchitectureBuilder::new();
+        let pes: Vec<_> = (0..4)
+            .map(|i| {
+                arch.add_pe(Pe::software(
+                    format!("cpu{i}"),
+                    PeKind::Gpp,
+                    Watts::from_milli(0.1),
+                ))
+            })
+            .collect();
+        arch.add_cl(Cl::bus(
+            "bus-a",
+            vec![pes[0], pes[1]],
+            Seconds::from_micros(1.0),
+            Watts::from_milli(1.0),
+            Watts::from_milli(0.5),
+        ))
+        .unwrap();
+        arch.add_cl(Cl::bus(
+            "bus-b",
+            vec![pes[2], pes[3]],
+            Seconds::from_micros(1.0),
+            Watts::from_milli(1.0),
+            Watts::from_milli(0.5),
+        ))
+        .unwrap();
+        let sw = |ms| Implementation::software(Seconds::from_millis(ms), Watts::from_milli(20.0));
+        tech.set_impl(tx, pes[0], sw(1.0));
+        tech.set_impl(ty_, pes[1], sw(1.0));
+        tech.set_impl(ty_, pes[2], sw(1.0));
+        tech.set_impl(tz, pes[3], sw(1.0));
+        let mut g = TaskGraphBuilder::new("m", Seconds::from_millis(100.0));
+        let x = g.add_task("x", tx);
+        let y = g.add_task("y", ty_);
+        let z = g.add_task("z", tz);
+        g.add_comm(x, y, 1.0).unwrap();
+        g.add_comm(y, z, 1.0).unwrap();
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        System::new("unroutable", omsm.build().unwrap(), arch.build().unwrap(), tech.build())
+            .unwrap()
+    }
+
     #[test]
     fn synthesis_finds_feasible_low_power_solution() {
         let system = skewed_system();
-        let result = Synthesizer::new(&system, SynthesisConfig::fast_preset(1)).run();
+        let result = Synthesizer::new(&system, SynthesisConfig::fast_preset(1)).run().unwrap();
         assert!(result.best.is_feasible(), "best must be feasible");
         assert!(result.generations > 0);
         assert!(result.evaluations > 0);
+        assert_eq!(result.rejected, 0, "clean runs reject nothing");
+        assert!(!result.stop_reason.is_interrupted());
         // The common mode must end up pure software so the ASIC and bus
         // power down during 95% of operation.
         let active = result.best.mapping.active_pes(ModeId::new(1));
@@ -255,7 +549,13 @@ mod tests {
                 .map(|seed| {
                     let mut cfg = SynthesisConfig::fast_preset(seed);
                     cfg.probability_aware = aware;
-                    Synthesizer::new(&system, cfg).run().best.power.average.value()
+                    Synthesizer::new(&system, cfg)
+                        .run()
+                        .unwrap()
+                        .best
+                        .power
+                        .average
+                        .value()
                 })
                 .sum::<f64>()
                 / runs as f64
@@ -272,11 +572,12 @@ mod tests {
     fn synthesis_is_deterministic_per_seed() {
         let system = skewed_system();
         let cfg = SynthesisConfig::fast_preset(3);
-        let a = Synthesizer::new(&system, cfg.clone()).run();
-        let b = Synthesizer::new(&system, cfg).run();
+        let a = Synthesizer::new(&system, cfg.clone()).run().unwrap();
+        let b = Synthesizer::new(&system, cfg).run().unwrap();
         assert_eq!(a.best.mapping, b.best.mapping);
         assert_eq!(a.best.fitness, b.best.fitness);
         assert_eq!(a.history, b.history);
+        assert_eq!(a.stop_reason, b.stop_reason);
     }
 
     #[test]
@@ -306,9 +607,11 @@ mod tests {
         let system =
             System::new("s", omsm.build().unwrap(), arch.build().unwrap(), tech.build()).unwrap();
 
-        let fixed = Synthesizer::new(&system, SynthesisConfig::fast_preset(0)).run();
-        let dvs =
-            Synthesizer::new(&system, SynthesisConfig::fast_preset(0).with_dvs()).run();
+        let fixed =
+            Synthesizer::new(&system, SynthesisConfig::fast_preset(0)).run().unwrap();
+        let dvs = Synthesizer::new(&system, SynthesisConfig::fast_preset(0).with_dvs())
+            .run()
+            .unwrap();
         assert!(
             dvs.best.power.average < fixed.best.power.average,
             "DVS {} must beat fixed voltage {}",
@@ -316,5 +619,84 @@ mod tests {
             fixed.best.power.average
         );
         assert!(dvs.best.is_feasible());
+    }
+
+    #[test]
+    fn unroutable_system_yields_typed_error() {
+        let system = unroutable_system();
+        let err = Synthesizer::new(&system, SynthesisConfig::fast_preset(0))
+            .run()
+            .expect_err("no complete mapping is routable");
+        match err {
+            SynthesisError::Unschedulable { best, fallback } => {
+                assert!(!best.is_empty());
+                assert!(!fallback.is_empty());
+            }
+            other => panic!("expected Unschedulable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_errors_are_counted_not_fatal() {
+        let system = skewed_system();
+        let mut cfg = SynthesisConfig::fast_preset(2);
+        // Err/NaN faults only: panic faults are exercised in the chaos
+        // integration tests, where the panic hook is silenced.
+        cfg.fault_injection =
+            Some(FaultInjection { panic_rate: 0.0, nan_rate: 0.1, err_rate: 0.1, seed: 11 });
+        let result = Synthesizer::new(&system, cfg).run().unwrap();
+        assert!(result.rejected > 0, "some candidates must have drawn a fault");
+        assert!(result.best.fitness.is_finite());
+        assert!(result.best.is_feasible());
+    }
+
+    #[test]
+    fn evaluation_budget_is_respected_and_tagged() {
+        let system = skewed_system();
+        let mut cfg = SynthesisConfig::fast_preset(4);
+        cfg.ga.max_evaluations = Some(25);
+        let result = Synthesizer::new(&system, cfg).run().unwrap();
+        assert_eq!(result.stop_reason, StopReason::EvaluationBudget);
+        // One offspring may be mid-flight when the budget trips, and the
+        // final refinement is not a candidate evaluation.
+        assert!(result.evaluations <= 26, "{}", result.evaluations);
+        assert!(result.best.fitness.is_finite());
+    }
+
+    #[test]
+    fn preset_stop_flag_cancels_immediately_with_well_formed_result() {
+        let system = skewed_system();
+        let stop = AtomicBool::new(true);
+        let result = Synthesizer::new(&system, SynthesisConfig::fast_preset(5))
+            .run_controlled(SynthControl { stop: Some(&stop), ..SynthControl::default() })
+            .unwrap();
+        assert_eq!(result.stop_reason, StopReason::Cancelled);
+        assert!(!result.history.is_empty());
+        assert!(result.best.fitness.is_finite());
+    }
+
+    #[test]
+    fn resume_requires_matching_checkpoint() {
+        let system = skewed_system();
+        let layout = GenomeLayout::new(&system);
+        let cfg = SynthesisConfig::fast_preset(6);
+        let snapshot = GaSnapshot {
+            generation: 0,
+            evaluations: 1,
+            stagnation: 0,
+            low_diversity_generations: 0,
+            history: vec![1.0],
+            best: (vec![0; layout.len()], 1.0),
+            population: vec![(vec![0; layout.len()], 1.0)],
+        };
+        // Captured with a different seed than the run uses.
+        let checkpoint = Checkpoint::capture(&system, &layout, 999, &snapshot);
+        let err = Synthesizer::new(&system, cfg)
+            .run_controlled(SynthControl { resume: Some(checkpoint), ..SynthControl::default() })
+            .expect_err("seed mismatch must be rejected");
+        assert!(matches!(
+            err,
+            SynthesisError::Checkpoint(CheckpointError::Mismatch { .. })
+        ));
     }
 }

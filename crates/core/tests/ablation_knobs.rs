@@ -8,7 +8,7 @@ use momsynth_sched::Priority;
 
 fn power_with(cfg: SynthesisConfig) -> (f64, bool) {
     let system = mul(9);
-    let result = Synthesizer::new(&system, cfg).run();
+    let result = Synthesizer::new(&system, cfg).run().unwrap();
     (result.best.power.average.as_milli(), result.best.is_feasible())
 }
 
@@ -34,7 +34,7 @@ fn d3_software_only_dvs_never_beats_full_dvs_on_hw_heavy_systems() {
         if sw_only {
             cfg.dvs = Some(DvsSynthesisOptions::software_only());
         }
-        Synthesizer::new(&system, cfg).run().best.power.average.as_milli()
+        Synthesizer::new(&system, cfg).run().unwrap().best.power.average.as_milli()
     };
     let full = run(false);
     let sw_only = run(true);
@@ -68,7 +68,7 @@ fn local_search_never_hurts_the_reported_power() {
     let run = |passes: usize, seed: u64| {
         let mut cfg = SynthesisConfig::fast_preset(seed);
         cfg.local_search = LocalSearchOptions { max_passes: passes };
-        Synthesizer::new(&system, cfg).run().best.fitness
+        Synthesizer::new(&system, cfg).run().unwrap().best.fitness
     };
     for seed in 0..3 {
         let without = run(0, seed);

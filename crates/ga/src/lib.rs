@@ -13,10 +13,25 @@
 //! problem in `momsynth-core` is one instance; the unit tests here use
 //! simple numeric problems.
 //!
+//! # Robustness
+//!
+//! Every run terminates with the best individual seen so far and a
+//! [`StopReason`] saying why. Beyond the paper's convergence criteria
+//! (stagnation, diversity collapse, generation cap), [`GaConfig`] carries
+//! optional wall-clock and evaluation budgets, and [`run_controlled`]
+//! accepts a cooperative cancellation flag plus a per-generation snapshot
+//! hook / resume point for checkpointing. Randomness is re-seeded per
+//! generation from `(seed, generation)`, so a run resumed from a
+//! [`GaSnapshot`] replays exactly the generations an uninterrupted run
+//! would have produced.
+//!
+//! Non-finite costs returned by a problem (NaN, ±∞) are clamped to
+//! [`REJECTED_COST`] so they can never win the cost-sorted ranking.
+//!
 //! # Examples
 //!
 //! ```
-//! use momsynth_ga::{run, GaConfig, GaProblem};
+//! use momsynth_ga::{run, GaConfig, GaProblem, StopReason};
 //! use rand::Rng;
 //!
 //! /// Minimise the number of non-zero genes.
@@ -35,13 +50,23 @@
 //!
 //! let outcome = run(&AllZeros, &GaConfig { seed: 7, ..GaConfig::default() });
 //! assert_eq!(outcome.best_cost, 0.0);
+//! assert_eq!(outcome.stop_reason, StopReason::Stalled);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+
+/// Sentinel cost for rejected individuals (evaluation failed, panicked or
+/// produced a non-finite fitness). Far above any real cost, but far enough
+/// from `f64::MAX` that penalty arithmetic cannot overflow to infinity.
+pub const REJECTED_COST: f64 = f64::MAX / 4.0;
 
 /// An optimisation problem over fixed-length genomes.
 pub trait GaProblem {
@@ -57,7 +82,8 @@ pub trait GaProblem {
     fn random_gene(&self, locus: usize, rng: &mut dyn RngCore) -> Self::Gene;
 
     /// The cost of a genome; lower is better. Infeasibility is expressed
-    /// through penalty terms, not through rejection.
+    /// through penalty terms, not through rejection. Non-finite values are
+    /// clamped to [`REJECTED_COST`] by the engine.
     fn cost(&self, genome: &[Self::Gene]) -> f64;
 
     /// Problem-specific improvement operator, applied to a few individuals
@@ -122,7 +148,16 @@ pub struct GaConfig {
     /// `(worst − best) / |best|`, stays below this threshold for a few
     /// generations. `0.0` disables the check.
     pub diversity_epsilon: f64,
-    /// RNG seed; equal seeds give identical runs.
+    /// Optional wall-clock budget in seconds, measured from the start of
+    /// this call (a resumed run gets a fresh timer). Checked between
+    /// offspring, so the engine overruns by at most one evaluation.
+    pub max_seconds: Option<f64>,
+    /// Optional cap on cost evaluations (cumulative across resume: the
+    /// snapshot's evaluation count carries over). At least one individual
+    /// is always evaluated so a best solution exists.
+    pub max_evaluations: Option<usize>,
+    /// RNG seed; equal seeds give identical runs. Each generation draws
+    /// from a generator re-seeded with `(seed, generation)`.
     pub seed: u64,
 }
 
@@ -138,8 +173,52 @@ impl Default for GaConfig {
             max_generations: 300,
             stagnation_limit: 40,
             diversity_epsilon: 0.0,
+            max_seconds: None,
+            max_evaluations: None,
             seed: 0,
         }
+    }
+}
+
+/// Why a GA run returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The population's cost spread stayed below `diversity_epsilon`.
+    Converged,
+    /// No improvement for `stagnation_limit` generations.
+    Stalled,
+    /// `max_generations` reached.
+    GenerationLimit,
+    /// `max_seconds` elapsed.
+    WallClock,
+    /// `max_evaluations` spent.
+    EvaluationBudget,
+    /// The cancellation flag was raised (e.g. Ctrl-C).
+    Cancelled,
+}
+
+impl StopReason {
+    /// `true` for reasons that cut the search short rather than letting it
+    /// converge (budget exhaustion or cancellation).
+    pub fn is_interrupted(self) -> bool {
+        matches!(
+            self,
+            StopReason::WallClock | StopReason::EvaluationBudget | StopReason::Cancelled
+        )
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            StopReason::Converged => "converged (diversity collapsed)",
+            StopReason::Stalled => "stalled (no improvement)",
+            StopReason::GenerationLimit => "generation limit reached",
+            StopReason::WallClock => "wall-clock budget exhausted",
+            StopReason::EvaluationBudget => "evaluation budget exhausted",
+            StopReason::Cancelled => "cancelled",
+        };
+        f.write_str(text)
     }
 }
 
@@ -156,12 +235,88 @@ pub struct GaOutcome<G> {
     pub evaluations: usize,
     /// Best cost after each generation (index 0 = initial population).
     pub history: Vec<f64>,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+}
+
+/// Complete engine state between generations: enough to resume a run so
+/// that it replays exactly what the uninterrupted run would have done.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaSnapshot<G> {
+    /// Generations completed when the snapshot was taken (0 = after the
+    /// initial population).
+    pub generation: usize,
+    /// Cost evaluations spent so far.
+    pub evaluations: usize,
+    /// Generations without improvement so far.
+    pub stagnation: usize,
+    /// Consecutive low-diversity generations so far.
+    pub low_diversity_generations: usize,
+    /// Best cost after each generation so far.
+    pub history: Vec<f64>,
+    /// Best genome and cost seen so far.
+    pub best: (Vec<G>, f64),
+    /// The population, cost-sorted: `(genome, cost)` pairs.
+    pub population: Vec<(Vec<G>, f64)>,
+}
+
+/// Cooperative controls for [`run_controlled`]: cancellation, resume and
+/// checkpoint observation. `RunControl::default()` behaves like [`run`].
+pub struct RunControl<'a, G> {
+    /// Checked between offspring; when it becomes `true` the run returns
+    /// the best-so-far with [`StopReason::Cancelled`].
+    pub stop: Option<&'a AtomicBool>,
+    /// Restart from this snapshot instead of a fresh population.
+    pub resume: Option<GaSnapshot<G>>,
+    /// Called after the initial population and after every completed
+    /// generation with the current engine state.
+    #[allow(clippy::type_complexity)]
+    pub on_generation: Option<Box<dyn FnMut(&GaSnapshot<G>) + 'a>>,
+}
+
+impl<G> Default for RunControl<'_, G> {
+    fn default() -> Self {
+        Self { stop: None, resume: None, on_generation: None }
+    }
+}
+
+impl<G> fmt::Debug for RunControl<'_, G> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunControl")
+            .field("stop", &self.stop.map(|s| s.load(Ordering::Relaxed)))
+            .field("resume", &self.resume.as_ref().map(|s| s.generation))
+            .field("on_generation", &self.on_generation.is_some())
+            .finish()
+    }
 }
 
 #[derive(Clone)]
 struct Individual<G> {
     genome: Vec<G>,
     cost: f64,
+}
+
+/// Clamps a problem cost so that NaN and infinities can never win the
+/// cost-sorted ranking (`total_cmp` would otherwise order NaN above all
+/// finite costs or let an errant -∞ become "best").
+#[inline]
+fn sanitize_cost(cost: f64) -> f64 {
+    if cost.is_finite() {
+        cost
+    } else {
+        REJECTED_COST
+    }
+}
+
+/// Derives the RNG seed for one generation (0 = initialisation) so resumed
+/// runs replay the same randomness. SplitMix64 over `(seed, generation)`.
+fn generation_seed(seed: u64, generation: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((generation as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Runs the genetic algorithm on `problem` under `config`.
@@ -175,6 +330,26 @@ struct Individual<G> {
 /// degenerate (tournament size 0, ranking pressure outside `[1, 2]`) or
 /// `problem.genome_len() == 0`.
 pub fn run<P: GaProblem>(problem: &P, config: &GaConfig) -> GaOutcome<P::Gene> {
+    run_controlled(problem, config, RunControl::default())
+}
+
+/// Like [`run`], with cooperative cancellation, resume and a snapshot hook.
+///
+/// The engine checks the budgets and the stop flag between offspring, so a
+/// raised flag or an expired budget costs at most one extra evaluation
+/// before the best-so-far is returned. Resuming from a [`GaSnapshot`] of
+/// generation `g` replays generations `g+1..` with the same randomness an
+/// uninterrupted run would have used, so the final best is identical.
+///
+/// # Panics
+///
+/// As [`run`]; additionally if a resume snapshot's genome lengths do not
+/// match `problem.genome_len()`.
+pub fn run_controlled<P: GaProblem>(
+    problem: &P,
+    config: &GaConfig,
+    mut control: RunControl<'_, P::Gene>,
+) -> GaOutcome<P::Gene> {
     assert!(config.population_size > 0, "population must be non-empty");
     match config.selection {
         Selection::Tournament { k } => {
@@ -190,32 +365,127 @@ pub fn run<P: GaProblem>(problem: &P, config: &GaConfig) -> GaOutcome<P::Gene> {
     let len = problem.genome_len();
     assert!(len > 0, "genome must be non-empty");
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let start = Instant::now();
+    let stop_requested =
+        |flag: Option<&AtomicBool>| flag.is_some_and(|f| f.load(Ordering::Relaxed));
+    let out_of_time = |start: &Instant| {
+        config
+            .max_seconds
+            .is_some_and(|limit| start.elapsed().as_secs_f64() >= limit)
+    };
+    let out_of_evaluations =
+        |evaluations: usize| config.max_evaluations.is_some_and(|limit| evaluations >= limit);
+
     let mut evaluations = 0usize;
+    let mut interrupted: Option<StopReason> = None;
 
-    let mut population: Vec<Individual<P::Gene>> = Vec::with_capacity(config.population_size);
-    for genome in problem.seeds().into_iter().take(config.population_size) {
-        assert_eq!(genome.len(), len, "seed genome has wrong length");
-        evaluations += 1;
-        let cost = problem.cost(&genome);
-        population.push(Individual { genome, cost });
+    let mut population: Vec<Individual<P::Gene>>;
+    let mut best: Individual<P::Gene>;
+    let mut history: Vec<f64>;
+    let mut stagnation: usize;
+    let mut generations: usize;
+    let mut low_diversity_generations: usize;
+
+    if let Some(snapshot) = control.resume.take() {
+        for (genome, _) in &snapshot.population {
+            assert_eq!(genome.len(), len, "resume snapshot genome has wrong length");
+        }
+        assert_eq!(snapshot.best.0.len(), len, "resume snapshot best has wrong length");
+        population = snapshot
+            .population
+            .into_iter()
+            .map(|(genome, cost)| Individual { genome, cost: sanitize_cost(cost) })
+            .collect();
+        assert!(!population.is_empty(), "resume snapshot population is empty");
+        population.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        best = Individual { genome: snapshot.best.0, cost: sanitize_cost(snapshot.best.1) };
+        history = snapshot.history;
+        stagnation = snapshot.stagnation;
+        generations = snapshot.generation;
+        low_diversity_generations = snapshot.low_diversity_generations;
+        evaluations = snapshot.evaluations;
+    } else {
+        let mut rng = StdRng::seed_from_u64(generation_seed(config.seed, 0));
+        population = Vec::with_capacity(config.population_size);
+        for genome in problem.seeds().into_iter().take(config.population_size) {
+            assert_eq!(genome.len(), len, "seed genome has wrong length");
+            if interrupted.is_none() && !population.is_empty() {
+                if stop_requested(control.stop) {
+                    interrupted = Some(StopReason::Cancelled);
+                } else if out_of_time(&start) {
+                    interrupted = Some(StopReason::WallClock);
+                } else if out_of_evaluations(evaluations) {
+                    interrupted = Some(StopReason::EvaluationBudget);
+                }
+            }
+            if interrupted.is_some() {
+                break;
+            }
+            evaluations += 1;
+            let cost = sanitize_cost(problem.cost(&genome));
+            population.push(Individual { genome, cost });
+        }
+        while interrupted.is_none() && population.len() < config.population_size {
+            if !population.is_empty() {
+                if stop_requested(control.stop) {
+                    interrupted = Some(StopReason::Cancelled);
+                    break;
+                } else if out_of_time(&start) {
+                    interrupted = Some(StopReason::WallClock);
+                    break;
+                } else if out_of_evaluations(evaluations) {
+                    interrupted = Some(StopReason::EvaluationBudget);
+                    break;
+                }
+            }
+            let genome: Vec<P::Gene> =
+                (0..len).map(|l| problem.random_gene(l, &mut rng)).collect();
+            evaluations += 1;
+            let cost = sanitize_cost(problem.cost(&genome));
+            population.push(Individual { genome, cost });
+        }
+        population.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+
+        best = population[0].clone();
+        history = vec![best.cost];
+        stagnation = 0;
+        generations = 0;
+        low_diversity_generations = 0;
+
+        if interrupted.is_none() {
+            if let Some(hook) = control.on_generation.as_mut() {
+                hook(&make_snapshot(
+                    generations,
+                    evaluations,
+                    stagnation,
+                    low_diversity_generations,
+                    &history,
+                    &best,
+                    &population,
+                ));
+            }
+        }
     }
-    while population.len() < config.population_size {
-        let genome: Vec<P::Gene> =
-            (0..len).map(|l| problem.random_gene(l, &mut rng)).collect();
-        evaluations += 1;
-        let cost = problem.cost(&genome);
-        population.push(Individual { genome, cost });
-    }
-    population.sort_by(|a, b| a.cost.total_cmp(&b.cost));
 
-    let mut best = population[0].clone();
-    let mut history = vec![best.cost];
-    let mut stagnation = 0usize;
-    let mut generations = 0usize;
-    let mut low_diversity_generations = 0usize;
-
-    while generations < config.max_generations && stagnation < config.stagnation_limit {
+    let stop_reason = loop {
+        if let Some(reason) = interrupted {
+            break reason;
+        }
+        if stop_requested(control.stop) {
+            break StopReason::Cancelled;
+        }
+        if out_of_time(&start) {
+            break StopReason::WallClock;
+        }
+        if out_of_evaluations(evaluations) {
+            break StopReason::EvaluationBudget;
+        }
+        if generations >= config.max_generations {
+            break StopReason::GenerationLimit;
+        }
+        if stagnation >= config.stagnation_limit {
+            break StopReason::Stalled;
+        }
         if config.diversity_epsilon > 0.0 {
             let best_cost = population[0].cost;
             let worst_cost = population[population.len() - 1].cost;
@@ -227,19 +497,33 @@ pub fn run<P: GaProblem>(problem: &P, config: &GaConfig) -> GaOutcome<P::Gene> {
             if spread.is_finite() && spread < config.diversity_epsilon {
                 low_diversity_generations += 1;
                 if low_diversity_generations >= 3 {
-                    break;
+                    break StopReason::Converged;
                 }
             } else {
                 low_diversity_generations = 0;
             }
         }
+
         generations += 1;
+        let mut rng = StdRng::seed_from_u64(generation_seed(config.seed, generations));
         let mut next: Vec<Individual<P::Gene>> = Vec::with_capacity(config.population_size);
         // Elites survive unchanged (population is kept sorted).
         for elite in population.iter().take(config.elitism.min(population.len())) {
             next.push(elite.clone());
         }
         while next.len() < config.population_size {
+            if stop_requested(control.stop) {
+                interrupted = Some(StopReason::Cancelled);
+                break;
+            }
+            if out_of_time(&start) {
+                interrupted = Some(StopReason::WallClock);
+                break;
+            }
+            if out_of_evaluations(evaluations) {
+                interrupted = Some(StopReason::EvaluationBudget);
+                break;
+            }
             let mut child = if rng.gen_bool(config.crossover_rate.clamp(0.0, 1.0)) {
                 let a = select(population.len(), config.selection, &mut rng);
                 let b = select(population.len(), config.selection, &mut rng);
@@ -257,8 +541,16 @@ pub fn run<P: GaProblem>(problem: &P, config: &GaConfig) -> GaOutcome<P::Gene> {
                 problem.improve(&mut child, &mut rng);
             }
             evaluations += 1;
-            let cost = problem.cost(&child);
+            let cost = sanitize_cost(problem.cost(&child));
             next.push(Individual { genome: child, cost });
+        }
+        if let Some(reason) = interrupted {
+            // The generation was cut short: discard the partial offspring
+            // (the current population and best-so-far remain valid) and
+            // report the interruption. A later resume replays this
+            // generation in full from the last snapshot.
+            generations -= 1;
+            break reason;
         }
         next.sort_by(|a, b| a.cost.total_cmp(&b.cost));
         population = next;
@@ -270,7 +562,19 @@ pub fn run<P: GaProblem>(problem: &P, config: &GaConfig) -> GaOutcome<P::Gene> {
             stagnation += 1;
         }
         history.push(best.cost);
-    }
+
+        if let Some(hook) = control.on_generation.as_mut() {
+            hook(&make_snapshot(
+                generations,
+                evaluations,
+                stagnation,
+                low_diversity_generations,
+                &history,
+                &best,
+                &population,
+            ));
+        }
+    };
 
     GaOutcome {
         best: best.genome,
@@ -278,6 +582,27 @@ pub fn run<P: GaProblem>(problem: &P, config: &GaConfig) -> GaOutcome<P::Gene> {
         generations,
         evaluations,
         history,
+        stop_reason,
+    }
+}
+
+fn make_snapshot<G: Clone>(
+    generation: usize,
+    evaluations: usize,
+    stagnation: usize,
+    low_diversity_generations: usize,
+    history: &[f64],
+    best: &Individual<G>,
+    population: &[Individual<G>],
+) -> GaSnapshot<G> {
+    GaSnapshot {
+        generation,
+        evaluations,
+        stagnation,
+        low_diversity_generations,
+        history: history.to_vec(),
+        best: (best.genome.clone(), best.cost),
+        population: population.iter().map(|i| (i.genome.clone(), i.cost)).collect(),
     }
 }
 
@@ -443,6 +768,7 @@ mod tests {
             },
         );
         assert_eq!(outcome.generations, 5);
+        assert_eq!(outcome.stop_reason, StopReason::Stalled);
     }
 
     #[test]
@@ -572,6 +898,7 @@ mod tests {
             "diversity criterion should stop early, ran {} generations",
             with_diversity.generations
         );
+        assert_eq!(with_diversity.stop_reason, StopReason::Converged);
     }
 
     #[test]
@@ -583,5 +910,185 @@ mod tests {
         let expected =
             cfg.population_size + outcome.generations * (cfg.population_size - cfg.elitism);
         assert_eq!(outcome.evaluations, expected);
+        assert_eq!(outcome.stop_reason, StopReason::GenerationLimit);
+    }
+
+    #[test]
+    fn non_finite_costs_are_clamped() {
+        // NaN for most genomes; total_cmp would sort NaN *above* +inf, so
+        // without clamping a NaN genome would be reported as "best".
+        struct Poisoned;
+        impl GaProblem for Poisoned {
+            type Gene = u8;
+            fn genome_len(&self) -> usize {
+                4
+            }
+            fn random_gene(&self, _l: usize, rng: &mut dyn RngCore) -> u8 {
+                rng.gen_range(0..4)
+            }
+            fn cost(&self, genome: &[u8]) -> f64 {
+                match genome[0] {
+                    0 => f64::NAN,
+                    1 => f64::NEG_INFINITY,
+                    2 => f64::INFINITY,
+                    _ => genome.iter().map(|&g| g as f64).sum(),
+                }
+            }
+        }
+        let outcome = run(
+            &Poisoned,
+            &GaConfig { max_generations: 30, stagnation_limit: 30, seed: 2, ..GaConfig::default() },
+        );
+        assert!(outcome.best_cost.is_finite());
+        assert!(outcome.best_cost < REJECTED_COST);
+        assert_eq!(outcome.best[0], 3, "only genomes starting with 3 are valid");
+    }
+
+    #[test]
+    fn evaluation_budget_stops_the_run() {
+        let problem = MatchTarget { target: vec![1, 2, 3, 4, 5, 6] };
+        let cfg = GaConfig {
+            max_evaluations: Some(120),
+            max_generations: 10_000,
+            stagnation_limit: 10_000,
+            seed: 4,
+            ..GaConfig::default()
+        };
+        let outcome = run(&problem, &cfg);
+        assert_eq!(outcome.stop_reason, StopReason::EvaluationBudget);
+        assert!(outcome.evaluations <= 120, "spent {}", outcome.evaluations);
+        assert!(!outcome.best.is_empty());
+        assert!(outcome.best_cost.is_finite());
+    }
+
+    #[test]
+    fn tiny_evaluation_budget_still_returns_a_solution() {
+        let problem = MatchTarget { target: vec![1, 2, 3] };
+        let outcome = run(
+            &problem,
+            &GaConfig { max_evaluations: Some(1), seed: 0, ..GaConfig::default() },
+        );
+        assert_eq!(outcome.stop_reason, StopReason::EvaluationBudget);
+        assert_eq!(outcome.evaluations, 1);
+        assert_eq!(outcome.best.len(), 3);
+    }
+
+    #[test]
+    fn zero_wall_clock_budget_stops_immediately() {
+        let problem = MatchTarget { target: vec![1, 2, 3] };
+        let outcome = run(
+            &problem,
+            &GaConfig { max_seconds: Some(0.0), seed: 0, ..GaConfig::default() },
+        );
+        assert_eq!(outcome.stop_reason, StopReason::WallClock);
+        // The engine always evaluates at least one individual.
+        assert!(outcome.evaluations >= 1);
+        assert_eq!(outcome.best.len(), 3);
+    }
+
+    #[test]
+    fn stop_flag_cancels_mid_run() {
+        let problem = MatchTarget { target: vec![5; 8] };
+        let flag = AtomicBool::new(false);
+        let outcome = run_controlled(
+            &problem,
+            &GaConfig {
+                max_generations: 10_000,
+                stagnation_limit: 10_000,
+                seed: 1,
+                ..GaConfig::default()
+            },
+            RunControl {
+                stop: Some(&flag),
+                on_generation: Some(Box::new(|snapshot: &GaSnapshot<i64>| {
+                    if snapshot.generation >= 3 {
+                        flag.store(true, Ordering::Relaxed);
+                    }
+                })),
+                ..RunControl::default()
+            },
+        );
+        assert_eq!(outcome.stop_reason, StopReason::Cancelled);
+        assert_eq!(outcome.generations, 3);
+        assert!(outcome.best_cost.is_finite());
+    }
+
+    #[test]
+    fn pre_raised_stop_flag_still_yields_a_best() {
+        let problem = MatchTarget { target: vec![1, 2] };
+        let flag = AtomicBool::new(true);
+        let outcome = run_controlled(
+            &problem,
+            &GaConfig { seed: 0, ..GaConfig::default() },
+            RunControl { stop: Some(&flag), ..RunControl::default() },
+        );
+        assert_eq!(outcome.stop_reason, StopReason::Cancelled);
+        assert_eq!(outcome.best.len(), 2);
+        assert!(outcome.best_cost.is_finite());
+    }
+
+    #[test]
+    fn resume_replays_the_uninterrupted_run() {
+        let problem = MatchTarget { target: vec![3, 1, -4, 1, -5, 9, 2, -6] };
+        let cfg = GaConfig {
+            max_generations: 40,
+            stagnation_limit: 100,
+            seed: 17,
+            ..GaConfig::default()
+        };
+
+        // Uninterrupted run, capturing the snapshot after generation 12.
+        let mut mid: Option<GaSnapshot<i64>> = None;
+        let full = run_controlled(
+            &problem,
+            &cfg,
+            RunControl {
+                on_generation: Some(Box::new(|snapshot: &GaSnapshot<i64>| {
+                    if snapshot.generation == 12 {
+                        mid = Some(snapshot.clone());
+                    }
+                })),
+                ..RunControl::default()
+            },
+        );
+        let snapshot = mid.expect("run reached generation 12");
+
+        let resumed = run_controlled(
+            &problem,
+            &cfg,
+            RunControl { resume: Some(snapshot), ..RunControl::default() },
+        );
+        assert_eq!(resumed.best, full.best);
+        assert_eq!(resumed.best_cost, full.best_cost);
+        assert_eq!(resumed.history, full.history);
+        assert_eq!(resumed.generations, full.generations);
+        assert_eq!(resumed.evaluations, full.evaluations);
+        assert_eq!(resumed.stop_reason, full.stop_reason);
+    }
+
+    #[test]
+    fn snapshots_carry_consistent_state() {
+        let problem = MatchTarget { target: vec![2; 6] };
+        let cfg = GaConfig { max_generations: 5, stagnation_limit: 99, ..GaConfig::default() };
+        let mut seen = 0usize;
+        let _ = run_controlled(
+            &problem,
+            &cfg,
+            RunControl {
+                on_generation: Some(Box::new(|snapshot: &GaSnapshot<i64>| {
+                    assert_eq!(snapshot.generation, seen);
+                    seen += 1;
+                    assert_eq!(snapshot.population.len(), cfg.population_size);
+                    assert_eq!(snapshot.history.len(), snapshot.generation + 1);
+                    assert_eq!(snapshot.best.1, *snapshot.history.last().unwrap());
+                    // Population is cost-sorted.
+                    for pair in snapshot.population.windows(2) {
+                        assert!(pair[0].1 <= pair[1].1);
+                    }
+                })),
+                ..RunControl::default()
+            },
+        );
+        assert_eq!(seen, 6, "initial population + 5 generations");
     }
 }

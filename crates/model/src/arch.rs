@@ -661,4 +661,58 @@ mod tests {
         let back: Architecture = serde_json::from_str(&json).unwrap();
         assert_eq!(back, arch);
     }
+
+    #[test]
+    fn build_rejects_malformed_dvs_capabilities() {
+        let build_with = |dvs: DvsCapability| {
+            let mut b = ArchitectureBuilder::new();
+            b.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::from_milli(0.2)).with_dvs(dvs));
+            b.build()
+        };
+        let expect_reason = |dvs: DvsCapability, fragment: &str| match build_with(dvs) {
+            Err(crate::error::ModelError::InvalidDvs { pe, reason }) => {
+                assert_eq!(pe, "cpu");
+                assert!(reason.contains(fragment), "`{reason}` should mention `{fragment}`");
+            }
+            other => panic!("expected InvalidDvs({fragment}), got {other:?}"),
+        };
+
+        expect_reason(
+            DvsCapability::new(Volts::new(3.3), Volts::new(0.8), vec![]),
+            "no discrete supply levels",
+        );
+        expect_reason(
+            DvsCapability::new(Volts::new(0.0), Volts::new(0.0), vec![Volts::new(0.0)]),
+            "nominal voltage",
+        );
+        expect_reason(
+            DvsCapability::new(Volts::new(3.3), Volts::new(-0.1), vec![Volts::new(3.3)]),
+            "threshold voltage",
+        );
+        // A level at or below the threshold voltage.
+        expect_reason(
+            DvsCapability::new(
+                Volts::new(3.3),
+                Volts::new(0.8),
+                vec![Volts::new(0.5), Volts::new(3.3)],
+            ),
+            "exceed the threshold",
+        );
+        // A level above the nominal voltage.
+        expect_reason(
+            DvsCapability::new(
+                Volts::new(3.3),
+                Volts::new(0.8),
+                vec![Volts::new(3.3), Volts::new(4.0)],
+            ),
+            "must not exceed",
+        );
+        // Highest level short of the nominal voltage.
+        expect_reason(
+            DvsCapability::new(Volts::new(3.3), Volts::new(0.8), vec![Volts::new(2.0)]),
+            "highest level",
+        );
+        // The sample capability is fine.
+        assert!(build_with(sample_dvs()).is_ok());
+    }
 }

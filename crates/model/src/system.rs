@@ -40,8 +40,10 @@ impl System {
     /// implementation references a PE outside the architecture,
     /// [`ModelError::InvalidImplementation`] for non-positive execution
     /// times, negative powers, area on software PEs or missing area on
-    /// hardware PEs, and [`ModelError::UnimplementableType`] if a used type
-    /// has no implementation at all.
+    /// hardware PEs, [`ModelError::UnimplementableType`] if a used type
+    /// has no implementation at all, and [`ModelError::Unreachable`] if a
+    /// communication edge has no connected candidate PE pair (a fully
+    /// disconnected architecture).
     pub fn new(
         name: impl Into<String>,
         omsm: Omsm,
@@ -84,6 +86,26 @@ impl System {
                 }
                 if tech.pes_supporting(ty).next().is_none() {
                     return Err(ModelError::UnimplementableType { task_type: ty });
+                }
+            }
+        }
+        // Every communication edge needs at least one connected candidate
+        // PE pair, or no mapping can ever route it. (Joint routability of
+        // a *complete* mapping is the synthesiser's problem; a single
+        // fully disconnected edge is a specification error.)
+        for (_, mode) in omsm.modes() {
+            let graph = mode.graph();
+            for (_, comm) in graph.comms() {
+                let src_ty = graph.task(comm.src()).task_type();
+                let dst_ty = graph.task(comm.dst()).task_type();
+                let routable = tech.pes_supporting(src_ty).any(|a| {
+                    tech.pes_supporting(dst_ty).any(|b| arch.connected(a, b))
+                });
+                if !routable {
+                    return Err(ModelError::Unreachable {
+                        from: tech.pes_supporting(src_ty).next().expect("checked above"),
+                        to: tech.pes_supporting(dst_ty).next().expect("checked above"),
+                    });
                 }
             }
         }
@@ -387,6 +409,84 @@ mod tests {
             System::new("bad", omsm, arch, tech.build()),
             Err(ModelError::InvalidImplementation { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_edges_with_no_connected_candidate_pair() {
+        // cpu0 and asic1 share a bus; cpu2 is isolated. An edge between a
+        // type pinned to cpu0 and a type pinned to cpu2 can never route.
+        let mut tech = TechLibraryBuilder::new();
+        let ta = tech.add_type("A");
+        let tc = tech.add_type("C");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu0 = arch.add_pe(Pe::software("cpu0", PeKind::Gpp, Watts::from_milli(0.1)));
+        let asic1 = arch.add_pe(Pe::hardware(
+            "asic1",
+            PeKind::Asic,
+            Cells::new(600),
+            Watts::from_milli(0.05),
+        ));
+        let cpu2 = arch.add_pe(Pe::software("cpu2", PeKind::Gpp, Watts::from_milli(0.1)));
+        arch.add_cl(Cl::bus(
+            "bus",
+            vec![cpu0, asic1],
+            Seconds::from_micros(1.0),
+            Watts::from_milli(1.0),
+            Watts::from_milli(0.01),
+        ))
+        .unwrap();
+        tech.set_impl(
+            ta,
+            cpu0,
+            Implementation::software(Seconds::from_millis(1.0), Watts::from_milli(10.0)),
+        );
+        tech.set_impl(
+            tc,
+            cpu2,
+            Implementation::software(Seconds::from_millis(1.0), Watts::from_milli(10.0)),
+        );
+        let mut g = TaskGraphBuilder::new("m", Seconds::from_millis(100.0));
+        let x = g.add_task("x", ta);
+        let w = g.add_task("w", tc);
+        g.add_comm(x, w, 8.0).unwrap();
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        let err = System::new("split", omsm.build().unwrap(), arch.build().unwrap(), tech.build())
+            .unwrap_err();
+        match err {
+            ModelError::Unreachable { from, to } => {
+                assert_eq!(from, cpu0);
+                assert_eq!(to, cpu2);
+            }
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepts_self_communication_without_any_cl() {
+        // Both endpoints can land on the same PE: no CL is required.
+        let mut tech = TechLibraryBuilder::new();
+        let ta = tech.add_type("A");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::from_milli(0.1)));
+        tech.set_impl(
+            ta,
+            cpu,
+            Implementation::software(Seconds::from_millis(1.0), Watts::from_milli(10.0)),
+        );
+        let mut g = TaskGraphBuilder::new("m", Seconds::from_millis(100.0));
+        let x = g.add_task("x", ta);
+        let y = g.add_task("y", ta);
+        g.add_comm(x, y, 8.0).unwrap();
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        assert!(System::new(
+            "solo",
+            omsm.build().unwrap(),
+            arch.build().unwrap(),
+            tech.build()
+        )
+        .is_ok());
     }
 
     #[test]

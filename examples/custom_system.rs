@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(reloaded, system);
     println!("round-tripped through {}", path.display());
 
-    let result = Synthesizer::new(&reloaded, SynthesisConfig::fast_preset(5)).run();
+    let result = Synthesizer::new(&reloaded, SynthesisConfig::fast_preset(5)).run().expect("schedulable system");
     println!("{}", reloaded.summary());
     println!(
         "best implementation: {:.4} mW, feasible: {}, mapping {}",

@@ -96,13 +96,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}\n", system.summary());
 
     // Proposed flow: optimise with the real usage profile, DVS enabled.
-    let aware = Synthesizer::new(&system, SynthesisConfig::fast_preset(7).with_dvs()).run();
+    let aware = Synthesizer::new(&system, SynthesisConfig::fast_preset(7).with_dvs()).run().expect("schedulable system");
     // Baseline: same flow, probabilities ignored during optimisation.
     let neglecting = Synthesizer::new(
         &system,
         SynthesisConfig::fast_preset(7).with_dvs().probability_neglecting(),
     )
-    .run();
+    .run().expect("schedulable system");
 
     println!("probability-aware:      {:.4} mW (feasible: {})",
         aware.best.power.average.as_milli(), aware.best.is_feasible());

@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("lint: {w}");
     }
 
-    let result = Synthesizer::new(&system, SynthesisConfig::fast_preset(2).with_dvs()).run();
+    let result = Synthesizer::new(&system, SynthesisConfig::fast_preset(2).with_dvs()).run().expect("schedulable system");
     print!("{}", result.best.describe(&system));
     println!(
         "synthesis: {} generations, {} evaluations, {:.2} s",

@@ -33,7 +33,7 @@
 //! // The paper's Fig. 2 two-mode motivational example.
 //! let system = example1_system();
 //! let config = SynthesisConfig::fast_preset(1);
-//! let result = Synthesizer::new(&system, config).run();
+//! let result = Synthesizer::new(&system, config).run().expect("schedulable system");
 //! assert!(result.best.is_feasible());
 //! println!("average power: {:.4} mW", result.best.power.average.as_milli());
 //! ```

@@ -37,7 +37,7 @@ fn ga_rediscovers_the_fig2c_optimum() {
     // a few deterministic seeds, as a user of the library would.
     let system = example1_system();
     let best = (1..=3)
-        .map(|seed| Synthesizer::new(&system, SynthesisConfig::fast_preset(seed)).run())
+        .map(|seed| Synthesizer::new(&system, SynthesisConfig::fast_preset(seed)).run().expect("schedulable system"))
         .min_by(|a, b| a.best.fitness.total_cmp(&b.best.fitness))
         .expect("at least one run");
     assert!(best.best.is_feasible());
@@ -54,7 +54,7 @@ fn ga_rediscovers_the_fig2c_optimum() {
 fn probability_neglecting_ga_finds_the_fig2b_class_solution() {
     let system = example1_system();
     let cfg = SynthesisConfig::fast_preset(0).probability_neglecting();
-    let result = Synthesizer::new(&system, cfg).run();
+    let result = Synthesizer::new(&system, cfg).run().expect("schedulable system");
     // Under uniform weights the best *reported* power (true Ψ) is worse
     // than the probability-aware optimum.
     assert!(result.best.power.average.as_milli() > 15.7423 - 1e-9);
@@ -63,7 +63,7 @@ fn probability_neglecting_ga_finds_the_fig2b_class_solution() {
 #[test]
 fn solution_exposes_full_implementation_artifacts() {
     let system = example1_system();
-    let result = Synthesizer::new(&system, SynthesisConfig::fast_preset(1)).run();
+    let result = Synthesizer::new(&system, SynthesisConfig::fast_preset(1)).run().expect("schedulable system");
     let best = &result.best;
     assert_eq!(best.schedules.len(), 2);
     assert_eq!(best.voltage_schedules.len(), 2);

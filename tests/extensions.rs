@@ -41,7 +41,7 @@ fn usage_model_reweights_the_smartphone() {
     .expect("valid system");
     assert_eq!(music_phone.omsm().mode_count(), 8);
     // Synthesis on the reweighted system works end to end.
-    let result = Synthesizer::new(&music_phone, SynthesisConfig::fast_preset(1)).run();
+    let result = Synthesizer::new(&music_phone, SynthesisConfig::fast_preset(1)).run().expect("schedulable system");
     assert!(result.best.power.average.value() > 0.0);
 }
 
@@ -93,7 +93,7 @@ fn smartphone_lints_clean_and_exports_dot() {
 #[test]
 fn solution_describe_is_complete_on_the_smartphone() {
     let phone = smartphone();
-    let result = Synthesizer::new(&phone, SynthesisConfig::fast_preset(4)).run();
+    let result = Synthesizer::new(&phone, SynthesisConfig::fast_preset(4)).run().expect("schedulable system");
     let text = result.best.describe(&phone);
     for (_, m) in phone.omsm().modes() {
         assert!(text.contains(m.name()), "mode {} missing from report", m.name());

@@ -14,7 +14,7 @@ fn mean_power(system: &momsynth::model::System, aware: bool, dvs: bool, runs: u6
             if dvs {
                 cfg = cfg.with_dvs();
             }
-            Synthesizer::new(system, cfg).run().best.power.average.as_milli()
+            Synthesizer::new(system, cfg).run().expect("schedulable system").best.power.average.as_milli()
         })
         .sum::<f64>()
         / runs as f64
@@ -50,7 +50,7 @@ fn dvs_strictly_reduces_power() {
 fn synthesised_suite_solutions_are_feasible() {
     for n in [2, 9, 11] {
         let system = mul(n);
-        let result = Synthesizer::new(&system, SynthesisConfig::fast_preset(42)).run();
+        let result = Synthesizer::new(&system, SynthesisConfig::fast_preset(42)).run().expect("schedulable system");
         assert!(
             result.best.is_feasible(),
             "mul{n}: lateness {:?}, area overruns {:?}",

@@ -9,7 +9,7 @@ use momsynth::synthesis::{SynthesisConfig, Synthesizer};
 #[test]
 fn smartphone_synthesis_is_feasible_and_shuts_components_down() {
     let phone = smartphone();
-    let result = Synthesizer::new(&phone, SynthesisConfig::fast_preset(2)).run();
+    let result = Synthesizer::new(&phone, SynthesisConfig::fast_preset(2)).run().expect("schedulable system");
     assert!(result.best.is_feasible(), "lateness {:?}", result.best.total_lateness);
     // In at least one mode some component must be powered down — running
     // all three components all the time cannot be optimal given the 74%
@@ -26,7 +26,7 @@ fn smartphone_synthesis_is_feasible_and_shuts_components_down() {
 #[test]
 fn rlc_mode_dominates_the_weighted_average() {
     let phone = smartphone();
-    let result = Synthesizer::new(&phone, SynthesisConfig::fast_preset(3)).run();
+    let result = Synthesizer::new(&phone, SynthesisConfig::fast_preset(3)).run().expect("schedulable system");
     let rlc = &result.best.power.modes[ModeId::new(1).index()];
     // Ψ = 0.74: the weighted RLC contribution must be the single largest.
     let rlc_contrib = rlc.total().value() * 0.74;
@@ -56,7 +56,7 @@ fn table3_shape_dvs_and_probabilities_compose() {
                 if dvs {
                     cfg = cfg.with_dvs();
                 }
-                Synthesizer::new(&phone, cfg).run().best.power.average.as_milli()
+                Synthesizer::new(&phone, cfg).run().expect("schedulable system").best.power.average.as_milli()
             })
             .sum::<f64>()
             / 3.0

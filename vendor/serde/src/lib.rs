@@ -1,0 +1,337 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! stand-in implements the slice of serde the workspace uses. Instead of
+//! serde's visitor-based data model it pivots on a single self-describing
+//! [`Value`] tree (the JSON data model): [`Serialize`] renders a value
+//! tree, [`Deserialize`] rebuilds a type from one, and the
+//! [`Serializer`]/[`Deserializer`] traits bridge both to format crates
+//! (`serde_json`) and to `#[serde(with = "module")]` field overrides.
+//!
+//! Supported derive attributes: `#[serde(transparent)]` and
+//! `#[serde(with = "path")]`. Enums use serde's external tagging: unit
+//! variants serialise as strings, payload variants as one-entry objects.
+
+#![warn(missing_docs)]
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+use std::fmt;
+
+/// A serialisation or deserialisation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Self(message.to_string())
+    }
+
+    /// Error for a field missing from an object.
+    pub fn missing_field(container: &str, field: &str) -> Self {
+        Self(format!("missing field `{field}` in `{container}`"))
+    }
+
+    /// Error for a value whose shape does not match the target type.
+    pub fn invalid_type(expected: &str, found: &Value) -> Self {
+        Self(format!("invalid type: expected {expected}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself as a [`Value`] tree.
+pub trait Serialize {
+    /// Renders the value tree.
+    fn to_value(&self) -> Value;
+
+    /// Serialises through a [`Serializer`] (bridge used by
+    /// `#[serde(with)]` modules and format crates).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A sink that consumes one [`Value`] tree.
+pub trait Serializer: Sized {
+    /// Successful output.
+    type Ok;
+    /// Failure type.
+    type Error;
+
+    /// Consumes the rendered value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can rebuild itself from a [`Value`] tree.
+///
+/// The lifetime parameter exists for signature compatibility with real
+/// serde; this subset always deserialises from owned value trees.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds the type from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Deserialises through a [`Deserializer`] (bridge used by
+    /// `#[serde(with)]` modules and format crates).
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.take_value()?;
+        Self::from_value(&value).map_err(<D::Error as de::Error>::from_custom)
+    }
+}
+
+/// A source that produces one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Failure type.
+    type Error: de::Error;
+
+    /// Produces the value tree to deserialise from.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Deserialisation support traits (subset of `serde::de`).
+pub mod de {
+    use super::Value;
+
+    /// Errors a [`super::Deserializer`] can produce.
+    pub trait Error: Sized {
+        /// Wraps a data-shape error raised by a `from_value`
+        /// implementation.
+        fn from_custom(error: super::Error) -> Self;
+    }
+
+    impl Error for super::Error {
+        fn from_custom(error: super::Error) -> Self {
+            error
+        }
+    }
+
+    /// A type deserialisable from an owned value tree.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+
+    /// Rebuilds any deserialisable type directly from a [`Value`].
+    pub fn from_value_ref<T: DeserializeOwned>(value: &Value) -> Result<T, super::Error> {
+        T::from_value(value)
+    }
+}
+
+/// Serialisation support types (subset of `serde::ser`).
+pub mod ser {
+    pub use super::{Error, Serialize, Serializer};
+}
+
+// ---------------------------------------------------------------------
+// Serialize / Deserialize implementations for std types.
+// ---------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::invalid_type("unsigned integer", value))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::invalid_type("integer", value))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_f64(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error::invalid_type("number", value))
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::invalid_type("boolean", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::invalid_type("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::invalid_type("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(Error::custom(format!(
+                                "expected a {expected}-tuple, found {} elements",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::invalid_type("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

@@ -1,0 +1,418 @@
+//! Offline derive macros for the vendored `serde` subset.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! hand-parses the item token stream (no `syn`/`quote`) and emits
+//! `Serialize`/`Deserialize` impls as source text. It supports the shapes
+//! the workspace actually uses:
+//!
+//! - structs with named fields (serialised as objects, declaration order)
+//! - tuple structs (single field: the inner value; several: an array)
+//! - enums with unit and tuple variants (external tagging)
+//! - `#[serde(transparent)]` and `#[serde(with = "path")]`
+//!
+//! Unsupported shapes (generics, struct variants) fail loudly at expansion
+//! time rather than producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Direction::Serialize)
+        .parse()
+        .expect("derived Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Direction::Deserialize)
+        .parse()
+        .expect("derived Deserialize impl parses")
+}
+
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    body: Body,
+}
+
+enum Body {
+    /// Named fields: `(name, with_path)` per field, declaration order.
+    NamedStruct(Vec<Field>),
+    /// Tuple struct: number of fields.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum: `(variant name, payload arity)`; arity 0 is a unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Consumes leading `#[...]` attributes, returning the `with` path and
+/// whether `#[serde(transparent)]` was present.
+fn take_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool, Option<String>) {
+    let mut transparent = false;
+    let mut with = None;
+    while pos + 1 < tokens.len() {
+        match (&tokens[pos], &tokens[pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let [TokenTree::Ident(id), TokenTree::Group(args)] = &inner[..] {
+                    if id.to_string() == "serde" {
+                        parse_serde_attr(args.stream(), &mut transparent, &mut with);
+                    }
+                }
+                pos += 2;
+            }
+            _ => break,
+        }
+    }
+    (pos, transparent, with)
+}
+
+fn parse_serde_attr(args: TokenStream, transparent: &mut bool, with: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    match &tokens[..] {
+        [TokenTree::Ident(id)] if id.to_string() == "transparent" => *transparent = true,
+        [TokenTree::Ident(id), TokenTree::Punct(eq), TokenTree::Literal(path)]
+            if id.to_string() == "with" && eq.as_char() == '=' =>
+        {
+            let raw = path.to_string();
+            *with = Some(raw.trim_matches('"').to_string());
+        }
+        other => panic!("unsupported #[serde(...)] attribute: {other:?}"),
+    }
+}
+
+/// Skips `pub` / `pub(...)` / `crate` visibility tokens.
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(pos) {
+        if id.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (pos, transparent, _) = take_attrs(&tokens, 0);
+    let pos = skip_visibility(&tokens, pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    let name = match &tokens[pos + 1] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos + 2) {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) does not support generic type `{name}`");
+        }
+    }
+
+    let body = match (kind.as_str(), tokens.get(pos + 2)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Body::UnitStruct,
+        ("struct", None) => Body::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_variants(g.stream()))
+        }
+        _ => panic!("unsupported item shape for `{name}`"),
+    };
+
+    Item { name, transparent, body }
+}
+
+/// Splits a brace/paren group body on top-level commas; commas nested in
+/// groups arrive pre-bracketed, but `<...>` generics are raw puncts, so
+/// angle depth is tracked explicitly (e.g. `Vec<BTreeMap<(PeId, T), usize>>`).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().expect("non-empty parts").push(token);
+    }
+    if parts.last().map(Vec::is_empty) == Some(true) {
+        parts.pop();
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let (pos, _, with) = take_attrs(&tokens, 0);
+            let pos = skip_visibility(&tokens, pos);
+            let name = match &tokens[pos] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, found {other}"),
+            };
+            Field { name, with }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, usize)> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let (pos, _, _) = take_attrs(&tokens, 0);
+            let name = match &tokens[pos] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, found {other}"),
+            };
+            let arity = match tokens.get(pos + 1) {
+                None => 0,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    count_tuple_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    panic!("struct variant `{name}` is not supported by the vendored derive")
+                }
+                Some(other) => panic!("unsupported variant shape after `{name}`: {other}"),
+            };
+            (name, arity)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn generate(item: &Item, direction: Direction) -> String {
+    match direction {
+        Direction::Serialize => generate_serialize(item),
+        Direction::Deserialize => generate_deserialize(item),
+    }
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+        }
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let expr = match &f.with {
+                        Some(path) => format!(
+                            "{path}::serialize(&self.{field}, ::serde::value::ValueSerializer)\
+                             .expect(\"with-module serialization failed\")",
+                            field = f.name
+                        ),
+                        None => format!("::serde::Serialize::to_value(&self.{})", f.name),
+                    };
+                    format!("(\"{}\".to_string(), {expr})", f.name)
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(variant, arity)| match arity {
+                    0 => format!(
+                        "{name}::{variant} => ::serde::Value::String(\"{variant}\".to_string())"
+                    ),
+                    1 => format!(
+                        "{name}::{variant}(f0) => ::serde::Value::Object(vec![\
+                         (\"{variant}\".to_string(), ::serde::Serialize::to_value(f0))])"
+                    ),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{variant}({binders}) => ::serde::Value::Object(vec![\
+                             (\"{variant}\".to_string(), ::serde::Value::Array(vec![{items}]))])",
+                            binders = binders.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!(
+                "Ok(Self {{ {}: ::serde::Deserialize::from_value(value)? }})",
+                fields[0].name
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let access = format!(
+                        "value.get_field(\"{field}\").ok_or_else(|| \
+                         ::serde::Error::missing_field(\"{name}\", \"{field}\"))?",
+                        field = f.name
+                    );
+                    match &f.with {
+                        Some(path) => format!(
+                            "{field}: {path}::deserialize(\
+                             ::serde::value::ValueDeserializer::new({access}))?",
+                            field = f.name
+                        ),
+                        None => format!(
+                            "{field}: ::serde::Deserialize::from_value({access})?",
+                            field = f.name
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "if !value.is_object() {{ \
+                 return Err(::serde::Error::invalid_type(\"object\", value)); }} \
+                 Ok(Self {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::TupleStruct(1) => "Ok(Self(::serde::Deserialize::from_value(value)?))".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])"))
+                .map(|expr| format!("{expr}?"))
+                .collect();
+            format!(
+                "match value {{ \
+                 ::serde::Value::Array(items) if items.len() == {n} => Ok(Self({items})), \
+                 other => Err(::serde::Error::invalid_type(\"{n}-element array\", other)) }}",
+                items = items.join(", ")
+            )
+        }
+        Body::UnitStruct => "Ok(Self)".to_string(),
+        Body::Enum(variants) => generate_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         \tfn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_enum_deserialize(name: &str, variants: &[(String, usize)]) -> String {
+    let unknown = format!(
+        "other => Err(::serde::Error::custom(\
+         format!(\"unknown variant `{{other}}` of `{name}`\")))"
+    );
+
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, arity)| *arity == 0)
+        .map(|(variant, _)| format!("\"{variant}\" => Ok({name}::{variant})"))
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, arity)| *arity > 0)
+        .map(|(variant, arity)| match arity {
+            1 => format!(
+                "\"{variant}\" => Ok({name}::{variant}(\
+                 ::serde::Deserialize::from_value(payload)?))"
+            ),
+            n => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "\"{variant}\" => match payload {{ \
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                     Ok({name}::{variant}({items})), \
+                     other => Err(::serde::Error::invalid_type(\
+                     \"{n}-element array\", other)) }}",
+                    items = items.join(", ")
+                )
+            }
+        })
+        .collect();
+
+    let mut arms = Vec::new();
+    if !unit_arms.is_empty() {
+        arms.push(format!(
+            "::serde::Value::String(s) => match s.as_str() {{ {}, {unknown} }}",
+            unit_arms.join(", ")
+        ));
+    }
+    if !payload_arms.is_empty() {
+        arms.push(format!(
+            "::serde::Value::Object(entries) if entries.len() == 1 => {{ \
+             let (tag, payload) = &entries[0]; \
+             match tag.as_str() {{ {}, {unknown} }} }}",
+            payload_arms.join(", ")
+        ));
+    }
+    arms.push(format!(
+        "other => Err(::serde::Error::invalid_type(\"`{name}` variant\", other))"
+    ));
+    format!("match value {{ {} }}", arms.join(", "))
+}
