@@ -10,7 +10,7 @@ use momsynth_sched::Priority;
 
 fn ablation_costs(c: &mut Criterion) {
     let system = mul(9);
-    let options = HarnessOptions { runs: 1, base_seed: 0, quick: true };
+    let options = HarnessOptions { runs: 1, base_seed: 0, quick: true, out: None };
 
     let mut group = c.benchmark_group("ablation_costs_mul9");
     group.sample_size(10);

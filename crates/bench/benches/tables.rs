@@ -9,7 +9,7 @@ use momsynth_gen::suite::mul;
 
 fn synthesis_flows(c: &mut Criterion) {
     let system = mul(9);
-    let options = HarnessOptions { runs: 1, base_seed: 0, quick: true };
+    let options = HarnessOptions { runs: 1, base_seed: 0, quick: true, out: None };
 
     let mut group = c.benchmark_group("table_flows_mul9");
     group.sample_size(10);

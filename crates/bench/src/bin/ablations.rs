@@ -8,10 +8,13 @@
 //! Each ablation synthesises the same benchmark with one knob flipped and
 //! reports the achieved average power (mean over runs).
 //!
-//! Usage: `cargo run --release -p momsynth-bench --bin ablations [--runs N] [--seed S] [--quick]`
+//! Usage: `cargo run --release -p momsynth-bench --bin ablations [--runs N] [--seed S] [--quick] [--out DIR]`
 
-use momsynth_bench::HarnessOptions;
+use std::fmt::Write;
+
+use momsynth_bench::{write_results, HarnessOptions};
 use momsynth_core::{DvsSynthesisOptions, SynthesisConfig, Synthesizer};
+use momsynth_telemetry::RunSummary;
 use momsynth_gen::suite::{generate, mul, GeneratorParams};
 use momsynth_model::units::{Cells, Seconds, Volts, Watts};
 use momsynth_model::{
@@ -90,20 +93,24 @@ fn replication_system() -> System {
     .expect("valid system")
 }
 
-/// Mean reported power and feasible fraction over the runs.
+/// Mean reported power and feasible fraction over the runs; appends one
+/// [`RunSummary`] per run to `summaries`.
 fn measure(
     system: &System,
     options: &HarnessOptions,
+    summaries: &mut Vec<RunSummary>,
     make: impl Fn(u64) -> SynthesisConfig,
 ) -> (f64, f64) {
     let mut power = 0.0;
     let mut feasible = 0u64;
     for i in 0..options.runs {
-        let result = Synthesizer::new(system, make(options.base_seed + i)).run().expect("schedulable system");
+        let synthesizer = Synthesizer::new(system, make(options.base_seed + i));
+        let result = synthesizer.run().expect("schedulable system");
         power += result.best.power.average.as_milli();
         if result.best.is_feasible() {
             feasible += 1;
         }
+        summaries.push(result.summary(system, synthesizer.config()));
     }
     (power / options.runs as f64, feasible as f64 / options.runs as f64)
 }
@@ -112,26 +119,28 @@ fn main() {
     let options = HarnessOptions::from_args();
     let bench = mul(6);
     let tight = tight_system();
+    let mut summaries = Vec::new();
+    let mut report = String::new();
 
-    println!("Ablations ({} runs each)", options.runs);
-    println!("{:<48} {:>14} {:>10}", "variant", "power [mW]", "feasible");
-    println!("{}", "-".repeat(76));
-    println!("(power is only meaningful at feasible = 1.00)");
+    writeln!(report, "Ablations ({} runs each)", options.runs).unwrap();
+    writeln!(report, "{:<48} {:>14} {:>10}", "variant", "power [mW]", "feasible").unwrap();
+    writeln!(report, "{}", "-".repeat(76)).unwrap();
+    writeln!(report, "(power is only meaningful at feasible = 1.00)").unwrap();
 
     // D2: improvement operators.
     for (label, on) in [("D2 improvement operators ON (default)", true), ("D2 improvement operators OFF", false)] {
-        let (p, f) = measure(&bench, &options, |seed| {
+        let (p, f) = measure(&bench, &options, &mut summaries, |seed| {
             let mut cfg = options.config(seed, true, false);
             cfg.improvement_operators = on;
             cfg
         });
-        println!("{label:<48} {p:>14.4} {f:>10.2}");
+        writeln!(report, "{label:<48} {p:>14.4} {f:>10.2}").unwrap();
     }
 
     // D3: hardware-rail DVS on mul6, whose two hardware PEs are
     // DVS-enabled.
     for (label, sw_only) in [("D3 DVS on SW+HW rails (default)", false), ("D3 DVS on SW rails only", true)] {
-        let (p, f) = measure(&bench, &options, |seed| {
+        let (p, f) = measure(&bench, &options, &mut summaries, |seed| {
             let mut cfg = options.config(seed, true, true);
             cfg.dvs = Some(if sw_only {
                 DvsSynthesisOptions::software_only()
@@ -140,29 +149,32 @@ fn main() {
             });
             cfg
         });
-        println!("{label:<48} {p:>14.4} {f:>10.2}");
+        writeln!(report, "{label:<48} {p:>14.4} {f:>10.2}").unwrap();
     }
 
     // D4: core replication, on a burst workload where only replicated
     // cores can meet the period.
     let burst = replication_system();
     for (label, replicate) in [("D4 core replication ON (default)", true), ("D4 core replication OFF", false)] {
-        let (p, f) = measure(&burst, &options, |seed| {
+        let (p, f) = measure(&burst, &options, &mut summaries, |seed| {
             let mut cfg = options.config(seed, true, true);
             cfg.alloc.replicate = replicate;
             cfg
         });
-        println!("{label:<48} {p:>14.4} {f:>10.2}");
+        writeln!(report, "{label:<48} {p:>14.4} {f:>10.2}").unwrap();
     }
 
     // D5: scheduler priority rule, on the tight workload where ordering
     // decides deadline feasibility.
     for (label, priority) in [("D5 mobility priorities (default)", momsynth_sched::Priority::Mobility), ("D5 FIFO priorities", momsynth_sched::Priority::Fifo)] {
-        let (p, f) = measure(&tight, &options, |seed| {
+        let (p, f) = measure(&tight, &options, &mut summaries, |seed| {
             let mut cfg = options.config(seed, true, false);
             cfg.scheduler.priority = priority;
             cfg
         });
-        println!("{label:<48} {p:>14.4} {f:>10.2}");
+        writeln!(report, "{label:<48} {p:>14.4} {f:>10.2}").unwrap();
     }
+
+    print!("{report}");
+    write_results(&options, "ablations", &report, &summaries);
 }

@@ -5,15 +5,18 @@
 //! resulting implementations and the cost of running the *wrong* user's
 //! implementation.
 //!
-//! Usage: `cargo run --release -p momsynth-bench --bin profile_sensitivity [--runs N] [--seed S] [--quick]`
+//! Usage: `cargo run --release -p momsynth-bench --bin profile_sensitivity [--runs N] [--seed S] [--quick] [--out DIR]`
 
-use momsynth_bench::HarnessOptions;
-use momsynth_core::{Evaluator, Synthesizer};
+use std::fmt::Write;
+
+use momsynth_bench::{write_results, HarnessOptions};
+use momsynth_core::{Evaluator, SynthesisResult, Synthesizer};
 use momsynth_dvs::DvsOptions;
 use momsynth_gen::smartphone::smartphone;
 use momsynth_model::usage::UsageModel;
 use momsynth_model::units::Seconds;
 use momsynth_model::System;
+use momsynth_telemetry::RunSummary;
 
 /// Builds a usage profile as (sojourn seconds, ring weights) over the
 /// phone's 8 modes: gsm_rlc, rlc, network_search, photo_rlc, photo_ns,
@@ -34,6 +37,8 @@ fn profile(sojourns: [f64; 8]) -> Vec<f64> {
 fn main() {
     let options = HarnessOptions::from_args();
     let base = smartphone();
+    let mut summaries: Vec<RunSummary> = Vec::new();
+    let mut report = String::new();
 
     // Sojourn seconds per visit: [gsm_rlc, rlc, ns, photo_rlc, photo_ns,
     // mp3_rlc, mp3_ns, camera].
@@ -58,52 +63,62 @@ fn main() {
         systems.push((name.to_string(), system));
     }
 
-    println!("derived mode probabilities:");
+    writeln!(report, "derived mode probabilities:").unwrap();
     for (name, system) in &systems {
         let psi: Vec<String> = system
             .omsm()
             .modes()
             .map(|(_, m)| format!("{}={:.2}", m.name(), m.probability()))
             .collect();
-        println!("  {:<13} {}", name, psi.join("  "));
+        writeln!(report, "  {:<13} {}", name, psi.join("  ")).unwrap();
     }
 
     let mut results = Vec::new();
     for (name, system) in &systems {
         eprintln!("synthesising for {name} ({} runs) …", options.runs);
-        let result = (0..options.runs)
-            .map(|i| {
-                let cfg = options.config(options.base_seed + i, true, true);
-                Synthesizer::new(system, cfg).run().expect("schedulable system")
-            })
-            .min_by(|a, b| a.best.fitness.total_cmp(&b.best.fitness))
-            .expect("at least one run");
-        println!(
+        let mut best: Option<SynthesisResult> = None;
+        for i in 0..options.runs {
+            let cfg = options.config(options.base_seed + i, true, true);
+            let synthesizer = Synthesizer::new(system, cfg);
+            let result = synthesizer.run().expect("schedulable system");
+            summaries.push(result.summary(system, synthesizer.config()));
+            if best.as_ref().is_none_or(|b| result.best.fitness < b.best.fitness) {
+                best = Some(result);
+            }
+        }
+        let result = best.expect("at least one run");
+        writeln!(
+            report,
             "\n{name}: {:.4} mW (feasible: {})",
             result.best.power.average.as_milli(),
             result.best.is_feasible()
-        );
+        )
+        .unwrap();
         results.push((name.clone(), result));
     }
 
     // Cross-evaluation: what does user B pay for running user A's mapping?
-    println!("\ncross-evaluation (rows: mapping optimised for; columns: actual user) [mW]:");
-    print!("{:<13}", "");
+    writeln!(report, "\ncross-evaluation (rows: mapping optimised for; columns: actual user) [mW]:")
+        .unwrap();
+    write!(report, "{:<13}", "").unwrap();
     for (name, _) in &systems {
-        print!(" {name:>13}");
+        write!(report, " {name:>13}").unwrap();
     }
-    println!();
+    writeln!(report).unwrap();
     for (row_name, result) in &results {
-        print!("{row_name:<13}");
+        write!(report, "{row_name:<13}").unwrap();
         for (_, system) in &systems {
             let cfg = options.config(options.base_seed, true, true);
             let evaluator = Evaluator::new(system, &cfg);
             let solution = evaluator
                 .evaluate(result.best.mapping.clone(), Some(&DvsOptions::fine()))
                 .expect("mapping transfers across profiles");
-            print!(" {:>13.4}", solution.power.average.as_milli());
+            write!(report, " {:>13.4}", solution.power.average.as_milli()).unwrap();
         }
-        println!();
+        writeln!(report).unwrap();
     }
-    println!("\n(each column's minimum should sit on or near the diagonal: a user is served best\n by an implementation synthesised for a profile like theirs, and running a very\n different user's implementation can cost integer factors)");
+    writeln!(report, "\n(each column's minimum should sit on or near the diagonal: a user is served best\n by an implementation synthesised for a profile like theirs, and running a very\n different user's implementation can cost integer factors)").unwrap();
+
+    print!("{report}");
+    write_results(&options, "profile_sensitivity", &report, &summaries);
 }

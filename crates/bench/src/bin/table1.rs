@@ -1,25 +1,30 @@
 //! Regenerates Table 1: mul1–mul12 without DVS — probability-neglecting
 //! vs probability-aware synthesis.
 //!
-//! Usage: `cargo run --release -p momsynth-bench --bin table1 [--runs N] [--seed S] [--quick]`
+//! Usage: `cargo run --release -p momsynth-bench --bin table1 [--runs N] [--seed S] [--quick] [--out DIR]`
 
-use momsynth_bench::{compare_flows, print_table, HarnessOptions};
+use momsynth_bench::{compare_flows_detailed, render_table, write_results, HarnessOptions};
 use momsynth_gen::suite::mul_suite;
 
 fn main() {
     let options = HarnessOptions::from_args();
+    let mut summaries = Vec::new();
     let rows: Vec<_> = mul_suite()
         .iter()
         .map(|system| {
             eprintln!("synthesising {} …", system.name());
-            compare_flows(system, false, &options)
+            let (row, runs) = compare_flows_detailed(system, false, &options);
+            summaries.extend(runs);
+            row
         })
         .collect();
-    print_table(
+    let table = render_table(
         &format!(
             "Table 1 — considering execution probabilities (w/o DVS), {} runs/flow",
             options.runs
         ),
         &rows,
     );
+    print!("{table}");
+    write_results(&options, "table1", &table, &summaries);
 }

@@ -2,25 +2,30 @@
 //! probability-aware synthesis, voltage scaling on software *and*
 //! hardware PEs.
 //!
-//! Usage: `cargo run --release -p momsynth-bench --bin table2 [--runs N] [--seed S] [--quick]`
+//! Usage: `cargo run --release -p momsynth-bench --bin table2 [--runs N] [--seed S] [--quick] [--out DIR]`
 
-use momsynth_bench::{compare_flows, print_table, HarnessOptions};
+use momsynth_bench::{compare_flows_detailed, render_table, write_results, HarnessOptions};
 use momsynth_gen::suite::mul_suite;
 
 fn main() {
     let options = HarnessOptions::from_args();
+    let mut summaries = Vec::new();
     let rows: Vec<_> = mul_suite()
         .iter()
         .map(|system| {
             eprintln!("synthesising {} (DVS) …", system.name());
-            compare_flows(system, true, &options)
+            let (row, runs) = compare_flows_detailed(system, true, &options);
+            summaries.extend(runs);
+            row
         })
         .collect();
-    print_table(
+    let table = render_table(
         &format!(
             "Table 2 — considering execution probabilities (with DVS), {} runs/flow",
             options.runs
         ),
         &rows,
     );
+    print!("{table}");
+    write_results(&options, "table2", &table, &summaries);
 }

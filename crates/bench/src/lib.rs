@@ -16,13 +16,21 @@
 //! regenerated and the hardware numbers synthesised), but the *shape* —
 //! who wins, roughly by how much, and where DVS helps — is asserted by
 //! the integration tests in the workspace root.
+//!
+//! Alongside the human-readable `results_<name>.txt` table, each table
+//! binary persists the per-run [`RunSummary`] records as
+//! `results_<name>.json` so downstream tooling can consume the raw
+//! numbers without scraping stdout. Use `--out DIR` to pick the
+//! destination directory.
 
 #![warn(missing_docs)]
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use momsynth_core::{SynthesisConfig, Synthesizer};
 use momsynth_model::System;
+use momsynth_telemetry::RunSummary;
 
 /// One row of a Table 1/2-style comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +62,7 @@ impl ComparisonRow {
 }
 
 /// Harness options shared by the table binaries.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HarnessOptions {
     /// Optimisation repetitions per flow; reported powers/times are means
     /// over these runs (the paper averages 40 runs; default here is 5).
@@ -63,17 +71,19 @@ pub struct HarnessOptions {
     pub base_seed: u64,
     /// Shrink the GA (population/generations) for smoke tests.
     pub quick: bool,
+    /// Directory receiving `results_<name>.{txt,json}` (default: cwd).
+    pub out: Option<String>,
 }
 
 impl Default for HarnessOptions {
     fn default() -> Self {
-        Self { runs: 5, base_seed: 1000, quick: false }
+        Self { runs: 5, base_seed: 1000, quick: false, out: None }
     }
 }
 
 impl HarnessOptions {
-    /// Parses `--runs N`, `--seed N` and `--quick` from process arguments,
-    /// ignoring anything else.
+    /// Parses `--runs N`, `--seed N`, `--quick` and `--out DIR` from
+    /// process arguments, ignoring anything else.
     pub fn from_args() -> Self {
         let mut options = Self::default();
         let args: Vec<String> = std::env::args().collect();
@@ -93,6 +103,12 @@ impl HarnessOptions {
                     }
                 }
                 "--quick" => options.quick = true,
+                "--out" => {
+                    if let Some(v) = args.get(i + 1) {
+                        options.out = Some(v.clone());
+                        i += 1;
+                    }
+                }
                 _ => {}
             }
             i += 1;
@@ -113,24 +129,44 @@ impl HarnessOptions {
         }
         cfg
     }
+
+    /// Resolves `results_<name>.<ext>` inside the `--out` directory.
+    pub fn results_path(&self, name: &str, ext: &str) -> PathBuf {
+        let dir = self.out.as_deref().map_or_else(|| Path::new(".").to_path_buf(), PathBuf::from);
+        dir.join(format!("results_{name}.{ext}"))
+    }
 }
 
 /// Runs both flows (`probability-aware` and `-neglecting`) on one system
 /// and averages power and wall time over `options.runs` repetitions.
 pub fn compare_flows(system: &System, dvs: bool, options: &HarnessOptions) -> ComparisonRow {
-    let run_flow = |aware: bool| -> (f64, f64, u64) {
+    compare_flows_detailed(system, dvs, options).0
+}
+
+/// Like [`compare_flows`], but also returns one [`RunSummary`] per
+/// individual optimisation run (both flows, in execution order) for
+/// machine-readable persistence.
+pub fn compare_flows_detailed(
+    system: &System,
+    dvs: bool,
+    options: &HarnessOptions,
+) -> (ComparisonRow, Vec<RunSummary>) {
+    let mut summaries = Vec::new();
+    let mut run_flow = |aware: bool| -> (f64, f64, u64) {
         let mut power_sum = 0.0;
         let mut time_sum = 0.0;
         let mut feasible = 0u64;
         for i in 0..options.runs {
             let cfg = options.config(options.base_seed + i, aware, dvs);
+            let synthesizer = Synthesizer::new(system, cfg);
             let start = Instant::now();
-            let result = Synthesizer::new(system, cfg).run().expect("schedulable system");
+            let result = synthesizer.run().expect("schedulable system");
             time_sum += start.elapsed().as_secs_f64();
             power_sum += result.best.power.average.as_milli();
             if result.best.is_feasible() {
                 feasible += 1;
             }
+            summaries.push(result.summary(system, synthesizer.config()));
         }
         let n = options.runs as f64;
         (power_sum / n, time_sum / n, feasible)
@@ -138,7 +174,7 @@ pub fn compare_flows(system: &System, dvs: bool, options: &HarnessOptions) -> Co
 
     let (power_neglecting_mw, time_neglecting_s, feas_n) = run_flow(false);
     let (power_aware_mw, time_aware_s, feas_a) = run_flow(true);
-    ComparisonRow {
+    let row = ComparisonRow {
         name: system.name().to_owned(),
         modes: system.omsm().mode_count(),
         power_neglecting_mw,
@@ -146,13 +182,17 @@ pub fn compare_flows(system: &System, dvs: bool, options: &HarnessOptions) -> Co
         power_aware_mw,
         time_aware_s,
         feasible_fraction: (feas_n + feas_a) as f64 / (2 * options.runs) as f64,
-    }
+    };
+    (row, summaries)
 }
 
-/// Prints rows in the paper's Table 1/2 layout.
-pub fn print_table(title: &str, rows: &[ComparisonRow]) {
-    println!("{title}");
-    println!(
+/// Renders rows in the paper's Table 1/2 layout.
+pub fn render_table(title: &str, rows: &[ComparisonRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    writeln!(
+        out,
         "{:<14} {:>6} | {:>14} {:>10} | {:>14} {:>10} | {:>8} {:>6}",
         "Example",
         "modes",
@@ -162,10 +202,12 @@ pub fn print_table(title: &str, rows: &[ComparisonRow]) {
         "CPU [s]",
         "Red. %",
         "feas"
-    );
-    println!("{}", "-".repeat(100));
+    )
+    .unwrap();
+    writeln!(out, "{}", "-".repeat(100)).unwrap();
     for row in rows {
-        println!(
+        writeln!(
+            out,
             "{:<14} {:>6} | {:>14.4} {:>10.2} | {:>14.4} {:>10.2} | {:>8.2} {:>6.2}",
             row.name,
             row.modes,
@@ -175,7 +217,8 @@ pub fn print_table(title: &str, rows: &[ComparisonRow]) {
             row.time_aware_s,
             row.reduction_percent(),
             row.feasible_fraction,
-        );
+        )
+        .unwrap();
     }
     let mean: f64 =
         rows.iter().map(ComparisonRow::reduction_percent).sum::<f64>() / rows.len().max(1) as f64;
@@ -183,8 +226,35 @@ pub fn print_table(title: &str, rows: &[ComparisonRow]) {
         .iter()
         .map(ComparisonRow::reduction_percent)
         .fold(f64::NEG_INFINITY, f64::max);
-    println!("{}", "-".repeat(100));
-    println!("mean reduction {mean:.2} %, max reduction {max:.2} %");
+    writeln!(out, "{}", "-".repeat(100)).unwrap();
+    writeln!(out, "mean reduction {mean:.2} %, max reduction {max:.2} %").unwrap();
+    out
+}
+
+/// Prints rows in the paper's Table 1/2 layout.
+pub fn print_table(title: &str, rows: &[ComparisonRow]) {
+    print!("{}", render_table(title, rows));
+}
+
+/// Persists one experiment's outputs: `results_<name>.txt` holds the
+/// rendered human-readable report, `results_<name>.json` the raw
+/// per-run [`RunSummary`] records. Write failures are reported on
+/// stderr but do not abort the binary — the table already went to
+/// stdout.
+pub fn write_results(options: &HarnessOptions, name: &str, text: &str, summaries: &[RunSummary]) {
+    let txt_path = options.results_path(name, "txt");
+    if let Err(e) = std::fs::write(&txt_path, text) {
+        eprintln!("warning: cannot write {}: {e}", txt_path.display());
+    } else {
+        println!("wrote {}", txt_path.display());
+    }
+    let json_path = options.results_path(name, "json");
+    let json = serde_json::to_string_pretty(summaries).expect("summaries serialise");
+    if let Err(e) = std::fs::write(&json_path, json) {
+        eprintln!("warning: cannot write {}: {e}", json_path.display());
+    } else {
+        println!("wrote {}", json_path.display());
+    }
 }
 
 #[cfg(test)]
@@ -209,19 +279,33 @@ mod tests {
     #[test]
     fn quick_compare_runs_end_to_end() {
         let system = mul(9); // the smallest benchmark
-        let options = HarnessOptions { runs: 1, base_seed: 5, quick: true };
-        let row = compare_flows(&system, false, &options);
+        let options = HarnessOptions { runs: 1, base_seed: 5, quick: true, out: None };
+        let (row, summaries) = compare_flows_detailed(&system, false, &options);
         assert!(row.power_aware_mw > 0.0);
         assert!(row.power_neglecting_mw > 0.0);
         assert_eq!(row.modes, 4);
+        // One summary per run per flow, in execution order.
+        assert_eq!(summaries.len(), 2);
+        assert!(!summaries[0].probability_aware);
+        assert!(summaries[1].probability_aware);
+        assert_eq!(summaries[0].system, row.name);
+        assert!((summaries[1].average_power_mw - row.power_aware_mw).abs() < 1e-9);
     }
 
     #[test]
     fn options_config_respects_flags() {
-        let options = HarnessOptions { runs: 1, base_seed: 0, quick: true };
+        let options = HarnessOptions { runs: 1, base_seed: 0, quick: true, out: None };
         let cfg = options.config(3, false, true);
         assert_eq!(cfg.ga.seed, 3);
         assert!(!cfg.probability_aware);
         assert!(cfg.dvs.is_some());
+    }
+
+    #[test]
+    fn results_path_respects_out_dir() {
+        let options = HarnessOptions { out: Some("/tmp/bench".into()), ..Default::default() };
+        assert_eq!(options.results_path("table1", "json"), PathBuf::from("/tmp/bench/results_table1.json"));
+        let default = HarnessOptions::default();
+        assert_eq!(default.results_path("table1", "txt"), PathBuf::from("./results_table1.txt"));
     }
 }

@@ -26,10 +26,11 @@ pub enum Command {
         /// What to render.
         what: DotTarget,
     },
-    /// `generate [--preset mulN | --seed S --modes M ...] [-o out.json]`.
+    /// `generate [--preset mulN|smartphone | --seed S --modes M ...]
+    /// [-o out.json]`.
     Generate {
-        /// `mulN` preset index, if chosen.
-        preset: Option<usize>,
+        /// Named preset, if chosen.
+        preset: Option<GeneratePreset>,
         /// Seed for free-form generation.
         seed: u64,
         /// Mode count for free-form generation.
@@ -73,9 +74,26 @@ pub enum Command {
         output: Option<String>,
         /// Directory to write per-mode VCD traces into.
         vcd: Option<String>,
+        /// File to write the JSONL event trace to.
+        trace_out: Option<String>,
+        /// File to write the machine-readable run summary to.
+        metrics_out: Option<String>,
+        /// Print a one-line-per-generation progress view on stderr.
+        progress: bool,
+        /// Silence all human chatter on stdout/stderr.
+        quiet: bool,
     },
     /// `help` or no arguments.
     Help,
+}
+
+/// A named system preset for `generate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneratePreset {
+    /// One of the paper's hypothetical `mulN` benchmarks (1..=12).
+    Mul(usize),
+    /// The smartphone example (paper Table 2 flavour).
+    Smartphone,
 }
 
 /// What the `dot` subcommand renders.
@@ -168,14 +186,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 match args[i].as_str() {
                     "--preset" => {
                         let v = take_value(args, &mut i, "--preset")?;
-                        let n = v
-                            .strip_prefix("mul")
-                            .and_then(|n| n.parse().ok())
-                            .filter(|n| (1..=12).contains(n))
-                            .ok_or_else(|| {
-                                ParseError(format!("unknown preset `{v}` (use mul1..mul12)"))
-                            })?;
-                        preset = Some(n);
+                        preset = Some(if v == "smartphone" {
+                            GeneratePreset::Smartphone
+                        } else {
+                            let n = v
+                                .strip_prefix("mul")
+                                .and_then(|n| n.parse().ok())
+                                .filter(|n| (1..=12).contains(n))
+                                .ok_or_else(|| {
+                                    ParseError(format!(
+                                        "unknown preset `{v}` (use mul1..mul12 or smartphone)"
+                                    ))
+                                })?;
+                            GeneratePreset::Mul(n)
+                        });
                     }
                     "--seed" => {
                         seed = take_value(args, &mut i, "--seed")?
@@ -230,6 +254,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut resume = None;
             let mut output = None;
             let mut vcd = None;
+            let mut trace_out = None;
+            let mut metrics_out = None;
+            let mut progress = false;
+            let mut quiet = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -274,9 +302,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--vcd" => {
                         vcd = Some(take_value(args, &mut i, "--vcd")?.to_owned());
                     }
+                    "--trace-out" => {
+                        trace_out = Some(take_value(args, &mut i, "--trace-out")?.to_owned());
+                    }
+                    "--metrics-out" => {
+                        metrics_out = Some(take_value(args, &mut i, "--metrics-out")?.to_owned());
+                    }
+                    "--progress" => progress = true,
+                    "--quiet" | "-q" => quiet = true,
                     other => return Err(ParseError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
+            }
+            if progress && quiet {
+                return Err(ParseError("--progress and --quiet are mutually exclusive".into()));
             }
             Ok(Command::Synth {
                 path,
@@ -291,6 +330,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 resume,
                 output,
                 vcd,
+                trace_out,
+                metrics_out,
+                progress,
+                quiet,
             })
         }
         other => Err(ParseError(format!("unknown command `{other}` (try `momsynth help`)"))),
@@ -308,15 +351,18 @@ COMMANDS:
     info <system.json>       summarise a system specification
     lint <system.json>       report specification diagnostics
     dot <system.json>        export Graphviz (--what omsm|arch|mode:<n>)
-    generate                 emit a system (--preset mul1..mul12 |
-                             --seed S --modes M) [-o file]
+    generate                 emit a system (--preset mul1..mul12|smartphone
+                             | --seed S --modes M) [-o file]
     convert <spec.tgff>      import a TGFF-dialect specification [-o file]
     synth <system.json>      run co-synthesis (--dvs,
                              --neglect-probabilities, --seed S, --quick,
                              --max-seconds T, --max-evals N,
                              --checkpoint file [--checkpoint-every N],
                              --resume file,
-                             -o solution.json, --vcd trace_dir)
+                             -o solution.json, --vcd trace_dir,
+                             --trace-out events.jsonl,
+                             --metrics-out summary.json,
+                             --progress, --quiet)
     help                     show this text
 
 SYNTH BUDGETS AND RESILIENCE:
@@ -325,6 +371,14 @@ SYNTH BUDGETS AND RESILIENCE:
     (exit code 3). --checkpoint saves the GA state every N generations
     (default 10); --resume continues from such a file with the same system
     and seed.
+
+SYNTH OBSERVABILITY:
+    --trace-out writes one JSON event per line (RunStart, Generation,
+    Phase, Warning, Summary); --metrics-out writes the end-of-run summary
+    as a single JSON document. --progress prints a one-line-per-generation
+    view on stderr; --quiet silences all human output (traces and metrics
+    files are still written). Resumed runs continue the original trace's
+    generation numbering and counters seamlessly.
 
 EXIT CODES:
     0  success, best solution feasible
@@ -384,7 +438,22 @@ mod tests {
         let cmd = parse(&argv("generate --preset mul7 -o out.json")).unwrap();
         assert_eq!(
             cmd,
-            Command::Generate { preset: Some(7), seed: 1, modes: 4, output: "out.json".into() }
+            Command::Generate {
+                preset: Some(GeneratePreset::Mul(7)),
+                seed: 1,
+                modes: 4,
+                output: "out.json".into()
+            }
+        );
+        let cmd = parse(&argv("generate --preset smartphone")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                preset: Some(GeneratePreset::Smartphone),
+                seed: 1,
+                modes: 4,
+                output: "-".into()
+            }
         );
         let cmd = parse(&argv("generate --seed 9 --modes 3")).unwrap();
         assert_eq!(cmd, Command::Generate { preset: None, seed: 9, modes: 3, output: "-".into() });
@@ -422,10 +491,37 @@ mod tests {
                 resume: None,
                 output: Some("sol.json".into()),
                 vcd: Some("traces".into()),
+                trace_out: None,
+                metrics_out: None,
+                progress: false,
+                quiet: false,
             }
         );
         assert!(parse(&argv("synth")).is_err());
         assert!(parse(&argv("synth s.json --bogus")).is_err());
+    }
+
+    #[test]
+    fn synth_telemetry_flags_parse() {
+        let cmd = parse(&argv(
+            "synth s.json --trace-out events.jsonl --metrics-out summary.json --progress",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Synth { trace_out, metrics_out, progress, quiet, .. } => {
+                assert_eq!(trace_out.as_deref(), Some("events.jsonl"));
+                assert_eq!(metrics_out.as_deref(), Some("summary.json"));
+                assert!(progress);
+                assert!(!quiet);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        match parse(&argv("synth s.json -q")).unwrap() {
+            Command::Synth { quiet, .. } => assert!(quiet),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse(&argv("synth s.json --progress --quiet")).is_err());
+        assert!(parse(&argv("synth s.json --trace-out")).is_err());
     }
 
     #[test]

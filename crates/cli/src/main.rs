@@ -19,6 +19,7 @@ mod args;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use momsynth_core::telemetry::{Fanout, JsonlSink, ProgressSink, Sink, WarningSink};
 use momsynth_core::{
     Checkpoint, CheckpointSpec, StopReason, SynthControl, SynthesisConfig, Synthesizer,
 };
@@ -26,7 +27,7 @@ use momsynth_gen::suite::{generate, mul, GeneratorParams};
 use momsynth_model::{dot, lint, System};
 use momsynth_power::energy_breakdown;
 
-use args::{parse, Command, DotTarget, HELP};
+use args::{parse, Command, DotTarget, GeneratePreset, HELP};
 
 /// `synth` finished but the best solution violates constraints.
 const EXIT_INFEASIBLE: u8 = 2;
@@ -94,12 +95,14 @@ fn load_system(path: &str) -> Result<System, Box<dyn std::error::Error>> {
     Ok(serde_json::from_str(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))?)
 }
 
-fn write_output(path: &str, contents: &str) -> Result<(), Box<dyn std::error::Error>> {
+fn write_output(path: &str, contents: &str, quiet: bool) -> Result<(), Box<dyn std::error::Error>> {
     if path == "-" {
         print!("{contents}");
     } else {
         std::fs::write(path, contents).map_err(|e| format!("cannot write `{path}`: {e}"))?;
-        eprintln!("wrote {path}");
+        if !quiet {
+            eprintln!("wrote {path}");
+        }
     }
     Ok(())
 }
@@ -178,13 +181,14 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 .unwrap_or("imported");
             let system = momsynth_gen::tgff::parse_system(stem, &text)?;
             let json = serde_json::to_string_pretty(&system)?;
-            write_output(&output, &json)?;
+            write_output(&output, &json, false)?;
             eprintln!("{}", system.summary());
             Ok(ExitCode::SUCCESS)
         }
         Command::Generate { preset, seed, modes, output } => {
             let system = match preset {
-                Some(n) => mul(n),
+                Some(GeneratePreset::Mul(n)) => mul(n),
+                Some(GeneratePreset::Smartphone) => momsynth_gen::smartphone::smartphone(),
                 None => {
                     let mut params = GeneratorParams::new(format!("generated_{seed}"), seed);
                     params.modes = modes;
@@ -192,7 +196,7 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 }
             };
             let json = serde_json::to_string_pretty(&system)?;
-            write_output(&output, &json)?;
+            write_output(&output, &json, false)?;
             eprintln!("{}", system.summary());
             Ok(ExitCode::SUCCESS)
         }
@@ -209,6 +213,10 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             resume,
             output,
             vcd,
+            trace_out,
+            metrics_out,
+            progress,
+            quiet,
         } => {
             let system = load_system(&path)?;
             let mut config = if quick {
@@ -227,6 +235,22 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 None => None,
             };
             sigint::install();
+
+            // Telemetry: a fan-out of whatever the flags ask for. The
+            // warning-only sink keeps checkpoint-save failures visible on
+            // stderr without the cost of building trace events.
+            let mut sink = Fanout::new();
+            if let Some(p) = &trace_out {
+                let jsonl = JsonlSink::create(Path::new(p))
+                    .map_err(|e| format!("cannot create `{p}`: {e}"))?;
+                sink.push(Box::new(jsonl));
+            }
+            if progress {
+                sink.push(Box::new(ProgressSink));
+            } else if !quiet {
+                sink.push(Box::new(WarningSink));
+            }
+
             let control = SynthControl {
                 stop: Some(&sigint::STOP),
                 checkpoint: checkpoint.map(|p| CheckpointSpec {
@@ -234,57 +258,27 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     every: checkpoint_every,
                 }),
                 resume,
+                sink: Some(&sink),
             };
-            eprintln!(
-                "synthesising `{}` ({}, {}) …",
-                system.name(),
-                if neglect { "probability-neglecting" } else { "probability-aware" },
-                if dvs { "DVS" } else { "fixed voltage" },
-            );
-            let result = Synthesizer::new(&system, config).run_controlled(control)?;
-            println!(
-                "average power: {:.6} mW  (feasible: {}, {} generations, {} evaluations, {:.2} s)",
-                result.best.power.average.as_milli(),
-                result.best.is_feasible(),
-                result.generations,
-                result.evaluations,
-                result.wall_time.as_secs_f64(),
-            );
-            println!("stopped: {} ({} rejected evaluations)", result.stop_reason, result.rejected);
-            println!("mapping: {}", result.best.mapping.mapping_string());
-            print!("{}", result.best.power);
+            if !quiet {
+                eprintln!(
+                    "synthesising `{}` ({}, {}) …",
+                    system.name(),
+                    if neglect { "probability-neglecting" } else { "probability-aware" },
+                    if dvs { "DVS" } else { "fixed voltage" },
+                );
+            }
+            let synthesizer = Synthesizer::new(&system, config);
+            let result = synthesizer.run_controlled(control)?;
+            sink.flush();
+            if !quiet {
+                print_solution(&system, &result);
+            }
 
-            // Per-component attribution.
-            let factors: Vec<Vec<f64>> = system
-                .omsm()
-                .modes()
-                .map(|(mode, m)| {
-                    (0..m.graph().task_count())
-                        .map(|t| {
-                            result.best.voltage_schedules[mode.index()][t]
-                                .as_ref()
-                                .map(|vs| {
-                                    let pe = result.best.mapping.pe_of(
-                                        mode,
-                                        momsynth_model::ids::TaskId::new(t),
-                                    );
-                                    let cap = system.arch().pe(pe).dvs().expect("scaled on DVS PE");
-                                    vs.energy_factor(&momsynth_dvs::VoltageModel::from_capability(cap))
-                                })
-                                .unwrap_or(1.0)
-                        })
-                        .collect()
-                })
-                .collect();
-            let imps: Vec<momsynth_power::ModeImplementation> = result
-                .best
-                .schedules
-                .iter()
-                .zip(&factors)
-                .map(|(s, f)| momsynth_power::ModeImplementation::scaled(s, f))
-                .collect();
-            let breakdown = energy_breakdown(&system, &imps);
-            print!("{}", breakdown.to_table_string(&system));
+            if let Some(p) = &metrics_out {
+                let summary = result.summary(&system, synthesizer.config());
+                write_output(p, &serde_json::to_string_pretty(&summary)?, quiet)?;
+            }
 
             if let Some(dir) = vcd {
                 std::fs::create_dir_all(&dir)
@@ -295,7 +289,9 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     let file = format!("{dir}/{}.vcd", mode.name().replace(char::is_whitespace, "_"));
                     std::fs::write(&file, text)
                         .map_err(|e| format!("cannot write `{file}`: {e}"))?;
-                    eprintln!("wrote {file}");
+                    if !quiet {
+                        eprintln!("wrote {file}");
+                    }
                 }
             }
 
@@ -313,7 +309,7 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     "rejected": result.rejected,
                     "stop_reason": result.stop_reason.to_string(),
                 });
-                write_output(&path, &serde_json::to_string_pretty(&report)?)?;
+                write_output(&path, &serde_json::to_string_pretty(&report)?, quiet)?;
             }
             Ok(if result.stop_reason == StopReason::Cancelled {
                 ExitCode::from(EXIT_CANCELLED)
@@ -324,4 +320,51 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             })
         }
     }
+}
+
+/// Prints the human-readable solution report to stdout.
+fn print_solution(system: &System, result: &momsynth_core::SynthesisResult) {
+    println!(
+        "average power: {:.6} mW  (feasible: {}, {} generations, {} evaluations, {:.2} s)",
+        result.best.power.average.as_milli(),
+        result.best.is_feasible(),
+        result.generations,
+        result.evaluations,
+        result.wall_time.as_secs_f64(),
+    );
+    println!("stopped: {} ({} rejected evaluations)", result.stop_reason, result.rejected);
+    println!("mapping: {}", result.best.mapping.mapping_string());
+    print!("{}", result.best.power);
+
+    // Per-component attribution.
+    let factors: Vec<Vec<f64>> = system
+        .omsm()
+        .modes()
+        .map(|(mode, m)| {
+            (0..m.graph().task_count())
+                .map(|t| {
+                    result.best.voltage_schedules[mode.index()][t]
+                        .as_ref()
+                        .map(|vs| {
+                            let pe = result.best.mapping.pe_of(
+                                mode,
+                                momsynth_model::ids::TaskId::new(t),
+                            );
+                            let cap = system.arch().pe(pe).dvs().expect("scaled on DVS PE");
+                            vs.energy_factor(&momsynth_dvs::VoltageModel::from_capability(cap))
+                        })
+                        .unwrap_or(1.0)
+                })
+                .collect()
+        })
+        .collect();
+    let imps: Vec<momsynth_power::ModeImplementation> = result
+        .best
+        .schedules
+        .iter()
+        .zip(&factors)
+        .map(|(s, f)| momsynth_power::ModeImplementation::scaled(s, f))
+        .collect();
+    let breakdown = energy_breakdown(system, &imps);
+    print!("{}", breakdown.to_table_string(system));
 }

@@ -22,11 +22,15 @@ use serde::{Deserialize, Serialize};
 
 use momsynth_ga::GaSnapshot;
 use momsynth_model::System;
+use momsynth_telemetry::Counters;
 
 use crate::genome::{Gene, GenomeLayout};
 
 /// The checkpoint format version this build reads and writes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version 2 added the cumulative telemetry [`Counters`], so resumed
+/// runs produce continuous traces.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// A failure while saving, loading or validating a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +115,9 @@ pub struct Checkpoint {
     pub best_cost: f64,
     /// The cost-sorted population as `(genome, cost)` pairs.
     pub population: Vec<(Vec<Gene>, f64)>,
+    /// Cumulative telemetry counters at the time of capture, so a
+    /// resumed run emits a trace continuous with the original.
+    pub counters: Counters,
 }
 
 impl Checkpoint {
@@ -120,6 +127,7 @@ impl Checkpoint {
         layout: &GenomeLayout,
         seed: u64,
         snapshot: &GaSnapshot<Gene>,
+        counters: Counters,
     ) -> Self {
         Self {
             version: CHECKPOINT_VERSION,
@@ -136,6 +144,7 @@ impl Checkpoint {
             best_genome: snapshot.best.0.clone(),
             best_cost: snapshot.best.1,
             population: snapshot.population.clone(),
+            counters,
         }
     }
 
@@ -251,6 +260,11 @@ impl Checkpoint {
                 self.generation
             ));
         }
+        if self.counters.improve_applied.len() != momsynth_telemetry::OPERATOR_COUNT
+            || self.counters.improve_accepted.len() != momsynth_telemetry::OPERATOR_COUNT
+        {
+            return mismatch("checkpoint operator counters have the wrong arity".to_owned());
+        }
         Ok(())
     }
 
@@ -302,7 +316,7 @@ mod tests {
     fn save_load_round_trip_preserves_everything() {
         let system = small_system();
         let layout = GenomeLayout::new(&system);
-        let cp = Checkpoint::capture(&system, &layout, 42, &sample_snapshot(layout.len()));
+        let cp = Checkpoint::capture(&system, &layout, 42, &sample_snapshot(layout.len()), Counters::default());
         let path = tmp_path("round_trip.json");
         cp.save(&path).unwrap();
         let back = Checkpoint::load(&path).unwrap();
@@ -318,7 +332,7 @@ mod tests {
         let layout = GenomeLayout::new(&system);
         let mut snapshot = sample_snapshot(layout.len());
         snapshot.population[1].1 = momsynth_ga::REJECTED_COST;
-        let cp = Checkpoint::capture(&system, &layout, 0, &snapshot);
+        let cp = Checkpoint::capture(&system, &layout, 0, &snapshot, Counters::default());
         let path = tmp_path("sentinel.json");
         cp.save(&path).unwrap();
         let back = Checkpoint::load(&path).unwrap();
@@ -340,7 +354,7 @@ mod tests {
 
         let system = small_system();
         let layout = GenomeLayout::new(&system);
-        let mut cp = Checkpoint::capture(&system, &layout, 0, &sample_snapshot(layout.len()));
+        let mut cp = Checkpoint::capture(&system, &layout, 0, &sample_snapshot(layout.len()), Counters::default());
         cp.version = CHECKPOINT_VERSION + 1;
         let future = tmp_path("future.json");
         cp.save(&future).unwrap();
@@ -356,7 +370,7 @@ mod tests {
     fn validate_rejects_wrong_system_seed_and_shapes() {
         let system = small_system();
         let layout = GenomeLayout::new(&system);
-        let cp = Checkpoint::capture(&system, &layout, 5, &sample_snapshot(layout.len()));
+        let cp = Checkpoint::capture(&system, &layout, 5, &sample_snapshot(layout.len()), Counters::default());
 
         let mut other_params = GeneratorParams::new("other", 4);
         other_params.modes = 3;

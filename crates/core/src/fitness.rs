@@ -17,12 +17,15 @@
 //! limits. The reported [`Solution::power`] always uses the true
 //! probabilities.
 
+use std::cell::Cell;
+
 use momsynth_dvs::{scale_mode, DvsOptions, VoltageSchedule};
 use momsynth_model::ids::PeId;
 use momsynth_model::units::{Cells, Seconds, Watts};
 use momsynth_model::System;
 use momsynth_power::{power_report_with, ModeImplementation, PowerReport};
 use momsynth_sched::{schedule_mode, CoreAllocation, SchedError, Schedule, SystemMapping};
+use momsynth_telemetry::{Phase, PhaseAccumulator, PhaseTiming};
 
 use crate::alloc::derive_allocation;
 use crate::config::SynthesisConfig;
@@ -144,6 +147,11 @@ pub struct Evaluator<'a> {
     config: &'a SynthesisConfig,
     /// Mode weights used in the optimisation objective.
     weights: Vec<f64>,
+    /// Per-phase wall-clock accumulator (disabled unless a telemetry
+    /// sink asks for traces).
+    phases: PhaseAccumulator,
+    /// Total PV-DVS inner-loop iterations across all evaluations.
+    dvs_iterations: Cell<u64>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -155,12 +163,35 @@ impl<'a> Evaluator<'a> {
         } else {
             momsynth_power::uniform_weights(system)
         };
-        Self { system, config, weights }
+        Self {
+            system,
+            config,
+            weights,
+            phases: PhaseAccumulator::disabled(),
+            dvs_iterations: Cell::new(0),
+        }
     }
 
     /// The mode weights driving the optimisation objective.
     pub fn weights(&self) -> &[f64] {
         &self.weights
+    }
+
+    /// Turns on per-phase wall-clock measurement for subsequent
+    /// evaluations.
+    pub fn enable_phase_timing(&mut self) {
+        self.phases.enable();
+    }
+
+    /// Accumulated per-phase timings (empty while timing is disabled).
+    pub fn phase_timings(&self) -> Vec<PhaseTiming> {
+        self.phases.timings()
+    }
+
+    /// Total PV-DVS inner-loop iterations performed so far. Counted
+    /// deterministically — independent of whether phase timing is on.
+    pub fn dvs_iterations(&self) -> u64 {
+        self.dvs_iterations.get()
     }
 
     /// Fully evaluates a mapping. `dvs` selects the voltage-scaling
@@ -177,18 +208,33 @@ impl<'a> Evaluator<'a> {
         mapping: SystemMapping,
         dvs: Option<&DvsOptions>,
     ) -> Result<Solution, SchedError> {
+        self.phases.measure(Phase::FitnessEval, || self.evaluate_inner(mapping, dvs))
+    }
+
+    fn evaluate_inner(
+        &self,
+        mapping: SystemMapping,
+        dvs: Option<&DvsOptions>,
+    ) -> Result<Solution, SchedError> {
         let system = self.system;
-        let alloc = derive_allocation(system, &mapping, &self.config.alloc);
+        let alloc = self
+            .phases
+            .measure(Phase::CoreAllocation, || derive_allocation(system, &mapping, &self.config.alloc));
 
         let mut schedules = Vec::with_capacity(system.omsm().mode_count());
         let mut voltage_schedules = Vec::with_capacity(system.omsm().mode_count());
         let mut factors: Vec<Vec<f64>> = Vec::with_capacity(system.omsm().mode_count());
         for (mode, m) in system.omsm().modes() {
-            let schedule =
-                schedule_mode(system, mode, &mapping, &alloc, self.config.scheduler)?;
+            let schedule = self.phases.measure(Phase::ListScheduling, || {
+                schedule_mode(system, mode, &mapping, &alloc, self.config.scheduler)
+            })?;
             match dvs {
                 Some(options) => {
-                    let scaled = scale_mode(system, &schedule, options);
+                    let scaled = self
+                        .phases
+                        .measure(Phase::VoltageScaling, || scale_mode(system, &schedule, options));
+                    self.dvs_iterations
+                        .set(self.dvs_iterations.get() + scaled.iterations() as u64);
                     factors.push(scaled.energy_factors().to_vec());
                     voltage_schedules.push(
                         m.graph()
@@ -206,6 +252,7 @@ impl<'a> Evaluator<'a> {
             }
         }
 
+        let _pricing = self.phases.measure_guard(Phase::PowerPricing);
         let implementations: Vec<ModeImplementation<'_>> = schedules
             .iter()
             .zip(&factors)

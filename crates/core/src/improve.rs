@@ -40,17 +40,42 @@ pub enum ImprovementOp {
 impl ImprovementOp {
     /// All four operators.
     pub const ALL: [Self; 4] = [Self::Shutdown, Self::Area, Self::Timing, Self::Transition];
+
+    /// Dense index of the operator in [`ImprovementOp::ALL`]; matches the
+    /// per-operator telemetry counters
+    /// ([`momsynth_telemetry::OPERATOR_NAMES`]).
+    pub fn index(self) -> usize {
+        match self {
+            Self::Shutdown => 0,
+            Self::Area => 1,
+            Self::Timing => 2,
+            Self::Transition => 3,
+        }
+    }
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Shutdown => "shutdown",
+            Self::Area => "area",
+            Self::Timing => "timing",
+            Self::Transition => "transition",
+        }
+    }
 }
 
-/// Applies a uniformly random improvement operator to `genes`.
+/// Applies a uniformly random improvement operator to `genes`. Returns
+/// the operator drawn and whether it changed the genome, so callers can
+/// track per-operator efficacy.
 pub fn improve_random(
     system: &System,
     layout: &GenomeLayout,
     genes: &mut [Gene],
     rng: &mut dyn RngCore,
-) {
+) -> (ImprovementOp, bool) {
     let op = ImprovementOp::ALL[rng.gen_range(0..ImprovementOp::ALL.len())];
-    apply(system, layout, genes, op, rng);
+    let changed = apply(system, layout, genes, op, rng);
+    (op, changed)
 }
 
 /// Applies one specific improvement operator to `genes`. Returns `true`

@@ -61,5 +61,6 @@ pub use genome::{Gene, GenomeLayout};
 pub use improve::{improve_random, ImprovementOp};
 pub use local_search::{polish, LocalSearchOptions, LocalSearchStats, PolishControl};
 pub use momsynth_ga::StopReason;
+pub use momsynth_telemetry as telemetry;
 pub use synthesis::{CheckpointSpec, SynthControl, SynthesisError, SynthesisResult, Synthesizer};
 pub use transition::{transition_timings, TransitionTiming};

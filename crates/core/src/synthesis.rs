@@ -26,7 +26,6 @@
 //!   back to the all-software seed mapping; only when that fails too does
 //!   it return [`SynthesisError::Unschedulable`].
 
-use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,6 +35,9 @@ use rand::{Rng, RngCore};
 
 use momsynth_ga::{GaConfig, GaProblem, GaSnapshot, RunControl, StopReason, REJECTED_COST};
 use momsynth_model::System;
+use momsynth_telemetry::{
+    CounterSet, Counters, Event, ModeSummary, PhaseTiming, RunStart, RunSummary, Sink, Warning,
+};
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::{InjectedFault, SynthesisConfig};
@@ -63,6 +65,52 @@ pub struct SynthesisResult {
     pub stop_reason: StopReason,
     /// Wall-clock optimisation time.
     pub wall_time: Duration,
+    /// Cumulative telemetry counters (violations seen, rejected
+    /// evaluations, improvement-operator efficacy, DVS iterations).
+    pub counters: Counters,
+    /// Per-phase wall-clock breakdown of the inner loop. Empty unless a
+    /// trace-enabled sink was attached to the run.
+    pub phase_timings: Vec<PhaseTiming>,
+}
+
+impl SynthesisResult {
+    /// Renders the run as a machine-readable [`RunSummary`]: final p̄
+    /// per Eq. 1, per-mode dynamic/static power breakdown, stop reason
+    /// and throughput.
+    pub fn summary(&self, system: &System, config: &SynthesisConfig) -> RunSummary {
+        let modes = system
+            .omsm()
+            .modes()
+            .map(|(mode, m)| {
+                let mp = &self.best.power.modes[mode.index()];
+                ModeSummary {
+                    mode: m.name().to_owned(),
+                    probability: m.probability(),
+                    dynamic_mw: mp.dynamic.as_milli(),
+                    static_mw: mp.static_power.as_milli(),
+                    total_mw: mp.total().as_milli(),
+                }
+            })
+            .collect();
+        let wall = self.wall_time.as_secs_f64();
+        RunSummary {
+            system: system.name().to_owned(),
+            probability_aware: config.probability_aware,
+            dvs: config.dvs.is_some(),
+            seed: config.ga.seed,
+            average_power_mw: self.best.power.average.as_milli(),
+            feasible: self.best.is_feasible(),
+            modes,
+            stop_reason: self.stop_reason.to_string(),
+            generations: self.generations as u64,
+            evaluations: self.evaluations as u64,
+            rejected: self.rejected as u64,
+            wall_time_s: wall,
+            evals_per_sec: if wall > 0.0 { self.evaluations as f64 / wall } else { 0.0 },
+            counters: self.counters.clone(),
+            phases: self.phase_timings.clone(),
+        }
+    }
 }
 
 /// A synthesis run failed in a way no fallback could absorb.
@@ -113,17 +161,33 @@ pub struct CheckpointSpec {
 
 /// Resilience controls for [`Synthesizer::run_controlled`]. The default
 /// runs to completion without checkpoints, like [`Synthesizer::run`].
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct SynthControl<'a> {
     /// Cooperative cancellation flag (e.g. raised by a Ctrl-C handler);
     /// checked between evaluations by both the GA and the polish stage.
     pub stop: Option<&'a AtomicBool>,
     /// Periodically checkpoint the GA state to a file. Save failures are
-    /// reported on stderr but never abort the run.
+    /// reported as [`Warning`] events (stderr when no sink is attached)
+    /// but never abort the run.
     pub checkpoint: Option<CheckpointSpec>,
     /// Resume from a previously saved checkpoint instead of a fresh
     /// population. Validated against the loaded system and seed.
     pub resume: Option<Checkpoint>,
+    /// Telemetry sink receiving run/generation/phase/summary events.
+    /// Expensive events are only built when the sink reports
+    /// [`Sink::enabled`].
+    pub sink: Option<&'a dyn Sink>,
+}
+
+impl std::fmt::Debug for SynthControl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynthControl")
+            .field("stop", &self.stop)
+            .field("checkpoint", &self.checkpoint)
+            .field("resume", &self.resume.as_ref().map(|c| c.generation))
+            .field("sink", &self.sink.map(|s| s.enabled()))
+            .finish()
+    }
 }
 
 /// Multi-mode mapping as a [`GaProblem`].
@@ -133,9 +197,10 @@ struct MappingProblem<'a> {
     evaluator: &'a Evaluator<'a>,
     system: &'a System,
     config: &'a SynthesisConfig,
-    /// Evaluations rejected for faults (errors, panics, non-finite
-    /// fitness). `Cell` because [`GaProblem::cost`] takes `&self`.
-    rejected: Cell<usize>,
+    /// Cumulative telemetry counters (interior mutability because
+    /// [`GaProblem::cost`] takes `&self`). [`CounterSet::rejected`]
+    /// doubles as the rejected-evaluation count of the run.
+    counters: CounterSet,
 }
 
 impl MappingProblem<'_> {
@@ -152,7 +217,22 @@ impl MappingProblem<'_> {
         }
         let mapping = self.layout.decode(genome);
         let dvs = self.config.dvs.as_ref().map(|d| d.eval);
-        self.evaluator.evaluate(mapping, dvs.as_ref()).ok().map(|s| s.fitness)
+        self.evaluator.evaluate(mapping, dvs.as_ref()).ok().map(|s| {
+            self.counters.note_violations(
+                s.total_lateness.value() > 1e-12,
+                !s.area_overruns.is_empty(),
+                s.transitions.iter().any(|t| !t.is_feasible()),
+            );
+            s.fitness
+        })
+    }
+
+    /// Current counters, merged with the evaluator's deterministic DVS
+    /// iteration count. Captured into checkpoints and generation events.
+    fn counters_snapshot(&self) -> Counters {
+        let mut counters = self.counters.snapshot();
+        counters.dvs_iterations += self.evaluator.dvs_iterations();
+        counters
     }
 }
 
@@ -174,14 +254,19 @@ impl GaProblem for MappingProblem<'_> {
         match catch_unwind(AssertUnwindSafe(|| self.evaluate_cost(genome))) {
             Ok(Some(fitness)) if fitness.is_finite() => fitness,
             _ => {
-                self.rejected.set(self.rejected.get() + 1);
+                self.counters.add_rejected();
                 REJECTED_COST
             }
         }
     }
 
     fn improve(&self, genome: &mut [Gene], rng: &mut dyn RngCore) {
-        improve_random(self.system, self.layout, genome, rng);
+        let (op, changed) = improve_random(self.system, self.layout, genome, rng);
+        self.counters.note_improve(op.index(), changed);
+    }
+
+    fn counters(&self) -> Counters {
+        self.counters_snapshot()
     }
 
     /// Seed the population with the trivial all-software mapping (every
@@ -252,8 +337,13 @@ impl<'a> Synthesizer<'a> {
         control: SynthControl<'_>,
     ) -> Result<SynthesisResult, SynthesisError> {
         let start = Instant::now();
+        let sink = control.sink;
+        let trace = sink.is_some_and(momsynth_telemetry::Sink::enabled);
         let layout = GenomeLayout::new(self.system);
-        let evaluator = Evaluator::new(self.system, &self.config);
+        let mut evaluator = Evaluator::new(self.system, &self.config);
+        if trace {
+            evaluator.enable_phase_timing();
+        }
         let mut ga_config: GaConfig = self.config.ga;
         if !self.config.improvement_operators {
             ga_config.improvement_rate = 0.0;
@@ -263,17 +353,34 @@ impl<'a> Synthesizer<'a> {
             evaluator: &evaluator,
             system: self.system,
             config: &self.config,
-            rejected: Cell::new(0),
+            counters: CounterSet::new(),
         };
 
         let resume = match control.resume {
             Some(checkpoint) => {
                 checkpoint.validate(self.system, &layout, ga_config.seed)?;
+                // Restore the cumulative counters so the resumed trace
+                // continues exactly where the original left off.
+                problem.counters.restore(&checkpoint.counters);
                 Some(checkpoint.into_snapshot())
             }
             None => None,
         };
+        if trace {
+            if let Some(sink) = sink {
+                sink.record(&Event::RunStart(RunStart {
+                    system: self.system.name().to_owned(),
+                    seed: ga_config.seed,
+                    probability_aware: self.config.probability_aware,
+                    dvs: self.config.dvs.is_some(),
+                    modes: self.system.omsm().mode_count() as u64,
+                    genome_len: layout.len() as u64,
+                    resumed_generation: resume.as_ref().map(|s| s.generation as u64),
+                }));
+            }
+        }
         type GenerationHook<'h> = Box<dyn FnMut(&GaSnapshot<Gene>) + 'h>;
+        let problem_ref = &problem;
         let on_generation: Option<GenerationHook<'_>> =
             control.checkpoint.as_ref().map(|spec| {
                 let every = spec.every.max(1);
@@ -281,11 +388,21 @@ impl<'a> Synthesizer<'a> {
                 let (system, layout, seed) = (self.system, &layout, ga_config.seed);
                 Box::new(move |snapshot: &GaSnapshot<Gene>| {
                     if snapshot.generation.is_multiple_of(every) {
-                        let cp = Checkpoint::capture(system, layout, seed, snapshot);
+                        let cp = Checkpoint::capture(
+                            system,
+                            layout,
+                            seed,
+                            snapshot,
+                            problem_ref.counters_snapshot(),
+                        );
                         if let Err(e) = cp.save(&path) {
                             // Checkpointing is best-effort: losing a
                             // checkpoint must not lose the run.
-                            eprintln!("warning: checkpoint not saved: {e}");
+                            let message = format!("checkpoint not saved: {e}");
+                            match sink {
+                                Some(sink) => sink.record(&Event::Warning(Warning { message })),
+                                None => eprintln!("warning: {message}"),
+                            }
                         }
                     }
                 }) as GenerationHook<'_>
@@ -294,7 +411,7 @@ impl<'a> Synthesizer<'a> {
         let outcome = momsynth_ga::run_controlled(
             &problem,
             &ga_config,
-            RunControl { stop: control.stop, resume, on_generation },
+            RunControl { stop: control.stop, resume, on_generation, sink },
         );
 
         // Memetic polish: single-gene first-improvement sweeps remove the
@@ -357,15 +474,28 @@ impl<'a> Synthesizer<'a> {
             }
         };
 
-        Ok(SynthesisResult {
+        let counters = problem.counters_snapshot();
+        let result = SynthesisResult {
             best,
             generations: outcome.generations,
             evaluations,
-            rejected: problem.rejected.get(),
+            rejected: counters.rejected as usize,
             history: outcome.history,
             stop_reason,
             wall_time: start.elapsed(),
-        })
+            counters,
+            phase_timings: evaluator.phase_timings(),
+        };
+        if let Some(sink) = sink {
+            if sink.enabled() {
+                for timing in &result.phase_timings {
+                    sink.record(&Event::Phase(timing.clone()));
+                }
+                sink.record(&Event::Summary(result.summary(self.system, &self.config)));
+            }
+            sink.flush();
+        }
+        Ok(result)
     }
 
     /// Final (fine-DVS) evaluation with the same panic isolation and
@@ -690,7 +820,7 @@ mod tests {
             population: vec![(vec![0; layout.len()], 1.0)],
         };
         // Captured with a different seed than the run uses.
-        let checkpoint = Checkpoint::capture(&system, &layout, 999, &snapshot);
+        let checkpoint = Checkpoint::capture(&system, &layout, 999, &snapshot, Counters::default());
         let err = Synthesizer::new(&system, cfg)
             .run_controlled(SynthControl { resume: Some(checkpoint), ..SynthControl::default() })
             .expect_err("seed mismatch must be rejected");

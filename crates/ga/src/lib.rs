@@ -63,6 +63,8 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+use momsynth_telemetry::{Counters, Event, GenerationEvent, Sink};
+
 /// Sentinel cost for rejected individuals (evaluation failed, panicked or
 /// produced a non-finite fitness). Far above any real cost, but far enough
 /// from `f64::MAX` that penalty arithmetic cannot overflow to infinity.
@@ -97,6 +99,14 @@ pub trait GaProblem {
     /// the rest of the population randomly.
     fn seeds(&self) -> Vec<Vec<Self::Gene>> {
         Vec::new()
+    }
+
+    /// Cumulative problem-side counters (rejections, penalty classes,
+    /// operator efficacy) attached to every telemetry
+    /// [`GenerationEvent`]. Called only when the attached sink is
+    /// enabled. The default reports zeroes.
+    fn counters(&self) -> Counters {
+        Counters::default()
     }
 }
 
@@ -272,11 +282,16 @@ pub struct RunControl<'a, G> {
     /// generation with the current engine state.
     #[allow(clippy::type_complexity)]
     pub on_generation: Option<Box<dyn FnMut(&GaSnapshot<G>) + 'a>>,
+    /// Telemetry sink receiving one [`GenerationEvent`] per completed
+    /// generation (and for the initial population). Events are built only
+    /// when [`Sink::enabled`] returns `true`; `None` behaves like a
+    /// disabled sink.
+    pub sink: Option<&'a dyn Sink>,
 }
 
 impl<G> Default for RunControl<'_, G> {
     fn default() -> Self {
-        Self { stop: None, resume: None, on_generation: None }
+        Self { stop: None, resume: None, on_generation: None, sink: None }
     }
 }
 
@@ -286,6 +301,7 @@ impl<G> fmt::Debug for RunControl<'_, G> {
             .field("stop", &self.stop.map(|s| s.load(Ordering::Relaxed)))
             .field("resume", &self.resume.as_ref().map(|s| s.generation))
             .field("on_generation", &self.on_generation.is_some())
+            .field("sink", &self.sink.map(|s| s.enabled()))
             .finish()
     }
 }
@@ -366,6 +382,30 @@ pub fn run_controlled<P: GaProblem>(
     assert!(len > 0, "genome must be non-empty");
 
     let start = Instant::now();
+    // Events are built lazily: a missing or disabled sink costs a branch.
+    let sink = control.sink;
+    let emit_generation = |generation: usize,
+                           evaluations: usize,
+                           stagnation: usize,
+                           best: &Individual<P::Gene>,
+                           population: &[Individual<P::Gene>]| {
+        let Some(sink) = sink else { return };
+        if !sink.enabled() {
+            return;
+        }
+        let mean =
+            population.iter().map(|i| i.cost).sum::<f64>() / population.len().max(1) as f64;
+        let worst = population.last().map_or(best.cost, |i| i.cost);
+        sink.record(&Event::Generation(GenerationEvent {
+            generation: generation as u64,
+            evaluations: evaluations as u64,
+            best: best.cost,
+            mean,
+            worst,
+            stagnation: stagnation as u64,
+            counters: problem.counters(),
+        }));
+    };
     let stop_requested =
         |flag: Option<&AtomicBool>| flag.is_some_and(|f| f.load(Ordering::Relaxed));
     let out_of_time = |start: &Instant| {
@@ -453,6 +493,7 @@ pub fn run_controlled<P: GaProblem>(
         low_diversity_generations = 0;
 
         if interrupted.is_none() {
+            emit_generation(generations, evaluations, stagnation, &best, &population);
             if let Some(hook) = control.on_generation.as_mut() {
                 hook(&make_snapshot(
                     generations,
@@ -563,6 +604,7 @@ pub fn run_controlled<P: GaProblem>(
         }
         history.push(best.cost);
 
+        emit_generation(generations, evaluations, stagnation, &best, &population);
         if let Some(hook) = control.on_generation.as_mut() {
             hook(&make_snapshot(
                 generations,
@@ -1064,6 +1106,98 @@ mod tests {
         assert_eq!(resumed.generations, full.generations);
         assert_eq!(resumed.evaluations, full.evaluations);
         assert_eq!(resumed.stop_reason, full.stop_reason);
+    }
+
+    #[test]
+    fn sink_receives_one_generation_event_per_generation() {
+        use momsynth_telemetry::MemorySink;
+        let problem = MatchTarget { target: vec![1, 2, 3] };
+        let sink = MemorySink::new();
+        let cfg =
+            GaConfig { max_generations: 4, stagnation_limit: 99, seed: 8, ..GaConfig::default() };
+        let outcome = run_controlled(
+            &problem,
+            &cfg,
+            RunControl { sink: Some(&sink), ..RunControl::default() },
+        );
+        let events = sink.events();
+        assert_eq!(events.len(), outcome.generations + 1, "init population + generations");
+        for (i, event) in events.iter().enumerate() {
+            let Event::Generation(g) = event else { panic!("unexpected event {event:?}") };
+            assert_eq!(g.generation as usize, i);
+            assert!(g.best <= g.mean && g.mean <= g.worst, "{g:?}");
+            assert_eq!(g.best, outcome.history[i]);
+            assert_eq!(g.counters, Counters::default(), "default counters are zero");
+        }
+    }
+
+    #[test]
+    fn disabled_sink_never_sees_a_record_call() {
+        struct PanicSink;
+        impl Sink for PanicSink {
+            fn enabled(&self) -> bool {
+                false
+            }
+            fn record(&self, _event: &Event) {
+                panic!("record must not be called through a disabled sink");
+            }
+        }
+        let problem = MatchTarget { target: vec![1, 2] };
+        let cfg =
+            GaConfig { max_generations: 3, stagnation_limit: 99, seed: 0, ..GaConfig::default() };
+        let outcome = run_controlled(
+            &problem,
+            &cfg,
+            RunControl { sink: Some(&PanicSink), ..RunControl::default() },
+        );
+        assert_eq!(outcome.generations, 3);
+    }
+
+    #[test]
+    fn resumed_runs_emit_exactly_the_remaining_generation_events() {
+        use momsynth_telemetry::MemorySink;
+        let problem = MatchTarget { target: vec![3, 1, -4, 1, -5, 9] };
+        let cfg = GaConfig {
+            max_generations: 20,
+            stagnation_limit: 100,
+            seed: 13,
+            ..GaConfig::default()
+        };
+
+        let full_sink = MemorySink::new();
+        let mut mid: Option<GaSnapshot<i64>> = None;
+        let _ = run_controlled(
+            &problem,
+            &cfg,
+            RunControl {
+                sink: Some(&full_sink),
+                on_generation: Some(Box::new(|snapshot: &GaSnapshot<i64>| {
+                    if snapshot.generation == 7 {
+                        mid = Some(snapshot.clone());
+                    }
+                })),
+                ..RunControl::default()
+            },
+        );
+        let snapshot = mid.expect("run reached generation 7");
+
+        let resumed_sink = MemorySink::new();
+        let _ = run_controlled(
+            &problem,
+            &cfg,
+            RunControl {
+                sink: Some(&resumed_sink),
+                resume: Some(snapshot),
+                ..RunControl::default()
+            },
+        );
+        let tail: Vec<Event> = full_sink
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, Event::Generation(g) if g.generation > 7))
+            .collect();
+        assert!(!tail.is_empty());
+        assert_eq!(resumed_sink.events(), tail, "resumed trace must replay the tail exactly");
     }
 
     #[test]

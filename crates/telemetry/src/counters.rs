@@ -1,0 +1,120 @@
+//! Interior-mutable run counters.
+
+use std::cell::Cell;
+
+use crate::event::{Counters, OPERATOR_COUNT};
+
+/// Live counterpart of [`Counters`] with interior mutability, so cost
+/// functions taking `&self` can count. Snapshot with
+/// [`CounterSet::snapshot`]; restore checkpointed totals with
+/// [`CounterSet::restore`] so resumed runs keep cumulative counters.
+#[derive(Debug, Default)]
+pub struct CounterSet {
+    rejected: Cell<u64>,
+    timing_violations: Cell<u64>,
+    area_violations: Cell<u64>,
+    transition_violations: Cell<u64>,
+    dvs_iterations: Cell<u64>,
+    improve_applied: [Cell<u64>; OPERATOR_COUNT],
+    improve_accepted: [Cell<u64>; OPERATOR_COUNT],
+}
+
+impl CounterSet {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one rejected evaluation.
+    pub fn add_rejected(&self) {
+        self.rejected.set(self.rejected.get() + 1);
+    }
+
+    /// Rejected evaluations so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.get()
+    }
+
+    /// Counts the constraint classes one evaluated candidate violates.
+    pub fn note_violations(&self, timing: bool, area: bool, transition: bool) {
+        if timing {
+            self.timing_violations.set(self.timing_violations.get() + 1);
+        }
+        if area {
+            self.area_violations.set(self.area_violations.get() + 1);
+        }
+        if transition {
+            self.transition_violations.set(self.transition_violations.get() + 1);
+        }
+    }
+
+    /// Counts one application of improvement operator `op` (dense index)
+    /// and whether it changed the genome.
+    pub fn note_improve(&self, op: usize, changed: bool) {
+        self.improve_applied[op].set(self.improve_applied[op].get() + 1);
+        if changed {
+            self.improve_accepted[op].set(self.improve_accepted[op].get() + 1);
+        }
+    }
+
+    /// Adds PV-DVS inner-loop iterations.
+    pub fn add_dvs_iterations(&self, n: u64) {
+        self.dvs_iterations.set(self.dvs_iterations.get() + n);
+    }
+
+    /// Freezes the current totals.
+    pub fn snapshot(&self) -> Counters {
+        Counters {
+            rejected: self.rejected.get(),
+            timing_violations: self.timing_violations.get(),
+            area_violations: self.area_violations.get(),
+            transition_violations: self.transition_violations.get(),
+            dvs_iterations: self.dvs_iterations.get(),
+            improve_applied: self.improve_applied.iter().map(Cell::get).collect(),
+            improve_accepted: self.improve_accepted.iter().map(Cell::get).collect(),
+        }
+    }
+
+    /// Overwrites the totals with checkpointed values. Operator vectors
+    /// shorter than [`OPERATOR_COUNT`] leave the tail at zero.
+    pub fn restore(&self, counters: &Counters) {
+        self.rejected.set(counters.rejected);
+        self.timing_violations.set(counters.timing_violations);
+        self.area_violations.set(counters.area_violations);
+        self.transition_violations.set(counters.transition_violations);
+        self.dvs_iterations.set(counters.dvs_iterations);
+        for (cell, &v) in self.improve_applied.iter().zip(&counters.improve_applied) {
+            cell.set(v);
+        }
+        for (cell, &v) in self.improve_accepted.iter().zip(&counters.improve_accepted) {
+            cell.set(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let set = CounterSet::new();
+        set.add_rejected();
+        set.note_violations(true, false, true);
+        set.note_improve(2, true);
+        set.note_improve(2, false);
+        set.add_dvs_iterations(9);
+        let snap = set.snapshot();
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.timing_violations, 1);
+        assert_eq!(snap.area_violations, 0);
+        assert_eq!(snap.transition_violations, 1);
+        assert_eq!(snap.dvs_iterations, 9);
+        assert_eq!(snap.improve_applied, vec![0, 0, 2, 0]);
+        assert_eq!(snap.improve_accepted, vec![0, 0, 1, 0]);
+
+        let other = CounterSet::new();
+        other.restore(&snap);
+        assert_eq!(other.snapshot(), snap);
+    }
+}

@@ -1,0 +1,265 @@
+//! The typed event model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::timing::PhaseTiming;
+
+/// Number of improvement operators tracked by [`Counters`] (the paper's
+/// shut-down, area, timing and transition strategies, in that order).
+pub const OPERATOR_COUNT: usize = 4;
+
+/// Display names of the improvement operators, indexed like the
+/// `improve_*` vectors of [`Counters`].
+pub const OPERATOR_NAMES: [&str; OPERATOR_COUNT] = ["shutdown", "area", "timing", "transition"];
+
+/// One telemetry event. Serialises externally tagged, so a JSONL trace
+/// reads `{"Generation": {...}}` per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// The run began (or resumed).
+    RunStart(RunStart),
+    /// A GA generation completed.
+    Generation(GenerationEvent),
+    /// Accumulated timing of one inner-loop phase.
+    Phase(PhaseTiming),
+    /// A non-fatal problem occurred.
+    Warning(Warning),
+    /// The run finished.
+    Summary(RunSummary),
+}
+
+/// Identity of a starting synthesis run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStart {
+    /// Name of the system being synthesised.
+    pub system: String,
+    /// GA seed.
+    pub seed: u64,
+    /// `true` for the probability-aware flow, `false` for the
+    /// probability-neglecting baseline.
+    pub probability_aware: bool,
+    /// Whether voltage scaling is enabled.
+    pub dvs: bool,
+    /// Number of operational modes.
+    pub modes: u64,
+    /// Genome length (mapping loci across all modes).
+    pub genome_len: u64,
+    /// When resuming from a checkpoint, the generation it froze.
+    pub resumed_generation: Option<u64>,
+}
+
+/// Cumulative run counters, carried by every [`GenerationEvent`] and
+/// persisted in checkpoints so resumed traces stay continuous.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Evaluations rejected (errored, panicked or non-finite fitness).
+    pub rejected: u64,
+    /// Evaluated candidates that violated a timing constraint.
+    pub timing_violations: u64,
+    /// Evaluated candidates that violated an area constraint.
+    pub area_violations: u64,
+    /// Evaluated candidates that violated a transition-time constraint.
+    pub transition_violations: u64,
+    /// Total PV-DVS inner-loop iterations spent.
+    pub dvs_iterations: u64,
+    /// Applications of each improvement operator (see [`OPERATOR_NAMES`]).
+    pub improve_applied: Vec<u64>,
+    /// Applications that actually changed the genome, per operator.
+    pub improve_accepted: Vec<u64>,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Self {
+            rejected: 0,
+            timing_violations: 0,
+            area_violations: 0,
+            transition_violations: 0,
+            dvs_iterations: 0,
+            improve_applied: vec![0; OPERATOR_COUNT],
+            improve_accepted: vec![0; OPERATOR_COUNT],
+        }
+    }
+}
+
+/// Per-generation fitness statistics.
+///
+/// Carries no wall-clock fields on purpose: a fixed-seed run and its
+/// checkpoint-resumed counterpart must produce identical generation
+/// events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationEvent {
+    /// Generation index (0 = initial population).
+    pub generation: u64,
+    /// Cumulative cost evaluations.
+    pub evaluations: u64,
+    /// Best cost in the run so far.
+    pub best: f64,
+    /// Mean cost of the current population.
+    pub mean: f64,
+    /// Worst cost of the current population.
+    pub worst: f64,
+    /// Generations without improvement so far.
+    pub stagnation: u64,
+    /// Cumulative run counters at this generation.
+    pub counters: Counters,
+}
+
+/// A non-fatal condition worth reporting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Warning {
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Power breakdown of one mode in a [`RunSummary`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeSummary {
+    /// Mode name.
+    pub mode: String,
+    /// Mode execution probability `Ψ_O`.
+    pub probability: f64,
+    /// Average dynamic power `p̄_O^dyn` in mW.
+    pub dynamic_mw: f64,
+    /// Static power `p̄_O^stat` of the powered components in mW.
+    pub static_mw: f64,
+    /// Total mode power in mW.
+    pub total_mw: f64,
+}
+
+/// Machine-readable end-of-run metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Name of the synthesised system.
+    pub system: String,
+    /// `true` for the probability-aware flow.
+    pub probability_aware: bool,
+    /// Whether voltage scaling was enabled.
+    pub dvs: bool,
+    /// GA seed.
+    pub seed: u64,
+    /// Final probability-weighted average power p̄ (Eq. 1) in mW.
+    pub average_power_mw: f64,
+    /// Whether the best solution satisfies all constraints.
+    pub feasible: bool,
+    /// Per-mode dynamic/static power breakdown.
+    pub modes: Vec<ModeSummary>,
+    /// Why the optimisation stopped.
+    pub stop_reason: String,
+    /// Generations executed.
+    pub generations: u64,
+    /// Fitness evaluations performed.
+    pub evaluations: u64,
+    /// Evaluations rejected for faults.
+    pub rejected: u64,
+    /// Wall-clock optimisation time in seconds.
+    pub wall_time_s: f64,
+    /// Evaluation throughput (`evaluations / wall_time_s`).
+    pub evals_per_sec: f64,
+    /// Final cumulative counters.
+    pub counters: Counters,
+    /// Accumulated inner-loop phase timings.
+    pub phases: Vec<PhaseTiming>,
+}
+
+impl RunSummary {
+    /// A copy with every wall-clock-derived field zeroed, for comparing
+    /// the summaries of deterministic replays (e.g. a run against its
+    /// checkpoint-resumed counterpart).
+    pub fn normalized(&self) -> Self {
+        let mut s = self.clone();
+        s.wall_time_s = 0.0;
+        s.evals_per_sec = 0.0;
+        s.phases = Vec::new();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::Phase;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event::RunStart(RunStart {
+                system: "s".into(),
+                seed: 7,
+                probability_aware: true,
+                dvs: false,
+                modes: 3,
+                genome_len: 12,
+                resumed_generation: Some(4),
+            }),
+            Event::Generation(GenerationEvent {
+                generation: 5,
+                evaluations: 300,
+                best: 1.25,
+                mean: 2.5,
+                worst: 9.0,
+                stagnation: 1,
+                counters: Counters { rejected: 2, ..Counters::default() },
+            }),
+            Event::Phase(PhaseTiming {
+                phase: Phase::ListScheduling,
+                nanos: 12345,
+                spans: 17,
+                depth: 1,
+            }),
+            Event::Warning(Warning { message: "checkpoint not saved".into() }),
+        ];
+        for event in events {
+            let json = serde_json::to_string(&event).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn events_are_externally_tagged_single_objects() {
+        let json = serde_json::to_string(&Event::Warning(Warning { message: "m".into() }))
+            .unwrap();
+        assert!(json.starts_with("{\"Warning\""), "{json}");
+    }
+
+    #[test]
+    fn summary_normalization_zeroes_wall_clock_fields() {
+        let summary = RunSummary {
+            system: "s".into(),
+            probability_aware: true,
+            dvs: true,
+            seed: 0,
+            average_power_mw: 3.5,
+            feasible: true,
+            modes: vec![ModeSummary {
+                mode: "m".into(),
+                probability: 1.0,
+                dynamic_mw: 2.0,
+                static_mw: 1.5,
+                total_mw: 3.5,
+            }],
+            stop_reason: "stalled (no improvement)".into(),
+            generations: 10,
+            evaluations: 500,
+            rejected: 0,
+            wall_time_s: 1.25,
+            evals_per_sec: 400.0,
+            counters: Counters::default(),
+            phases: vec![PhaseTiming {
+                phase: Phase::FitnessEval,
+                nanos: 99,
+                spans: 500,
+                depth: 0,
+            }],
+        };
+        let norm = summary.normalized();
+        assert_eq!(norm.wall_time_s, 0.0);
+        assert_eq!(norm.evals_per_sec, 0.0);
+        assert!(norm.phases.is_empty());
+        assert_eq!(norm.average_power_mw, summary.average_power_mw);
+        let json = serde_json::to_string(&Event::Summary(summary)).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert!(matches!(back, Event::Summary(_)));
+    }
+}

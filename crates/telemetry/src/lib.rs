@@ -1,0 +1,74 @@
+//! Structured telemetry for synthesis runs.
+//!
+//! The GA co-synthesis loop is driven by quantities worth watching: the
+//! per-generation fitness statistics and penalty counters, the efficacy
+//! of the four improvement operators, and the wall-clock split between
+//! core allocation, list scheduling, voltage scaling and power pricing.
+//! This crate defines a typed event model for those quantities and a
+//! [`Sink`] abstraction that is **zero-cost when disabled**: producers
+//! check [`Sink::enabled`] before building an event, so a run without an
+//! attached sink (or with the [`NullSink`]) pays only a branch.
+//!
+//! # Event model
+//!
+//! Events serialise as externally tagged JSON objects, one per line in a
+//! JSONL trace (`{"Generation": {...}}`, `{"Summary": {...}}`, …):
+//!
+//! * [`RunStart`] — run identity: system, seed, flow flags, genome size;
+//! * [`GenerationEvent`] — per-generation fitness statistics plus the
+//!   cumulative [`Counters`]. Deliberately carries **no wall-clock
+//!   fields**, so the traces of a run and its checkpoint-resumed
+//!   counterpart are comparable byte for byte;
+//! * [`PhaseTiming`] — accumulated monotonic-clock spans of one inner
+//!   [`Phase`];
+//! * [`Warning`] — a non-fatal condition (e.g. a failed checkpoint save);
+//! * [`RunSummary`] — the machine-readable end-of-run metrics: final
+//!   p̄ per Eq. 1 of the paper, per-mode dynamic/static power breakdown,
+//!   stop reason, wall time and evaluation throughput.
+//!
+//! # Sinks
+//!
+//! | sink | purpose |
+//! |------|---------|
+//! | [`NullSink`] | discard everything; `enabled() == false` |
+//! | [`JsonlSink`] | append one JSON object per event to a file |
+//! | [`MemorySink`] | collect events in memory (tests, harnesses) |
+//! | [`ProgressSink`] | human one-line-per-generation view on stderr |
+//! | [`WarningSink`] | print only [`Warning`] events to stderr |
+//! | [`Fanout`] | broadcast to several sinks |
+//!
+//! # Example
+//!
+//! ```
+//! use momsynth_telemetry::{Counters, Event, GenerationEvent, MemorySink, Sink};
+//!
+//! let sink = MemorySink::new();
+//! if sink.enabled() {
+//!     sink.record(&Event::Generation(GenerationEvent {
+//!         generation: 0,
+//!         evaluations: 50,
+//!         best: 1.5,
+//!         mean: 2.0,
+//!         worst: 4.0,
+//!         stagnation: 0,
+//!         counters: Counters::default(),
+//!     }));
+//! }
+//! assert_eq!(sink.events().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod counters;
+mod event;
+mod sink;
+mod timing;
+
+pub use counters::CounterSet;
+pub use event::{
+    Counters, Event, GenerationEvent, ModeSummary, RunStart, RunSummary, Warning, OPERATOR_COUNT,
+    OPERATOR_NAMES,
+};
+pub use sink::{Fanout, JsonlSink, MemorySink, NullSink, ProgressSink, Sink, WarningSink, NULL};
+pub use timing::{Phase, PhaseAccumulator, PhaseGuard, PhaseTiming};

@@ -1,0 +1,240 @@
+//! Monotonic-clock phase timers for the synthesis inner loop.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// An instrumented phase of the synthesis loop. `FitnessEval` is the
+/// outer span (nest depth 0) covering one full candidate evaluation; the
+/// remaining phases are its nested components (depth 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// One full candidate evaluation (allocation through pricing).
+    FitnessEval,
+    /// Hardware core allocation derivation.
+    CoreAllocation,
+    /// List scheduling + communication mapping of all modes.
+    ListScheduling,
+    /// PV-DVS voltage scaling of all modes.
+    VoltageScaling,
+    /// Power reporting and penalty pricing.
+    PowerPricing,
+}
+
+impl Phase {
+    /// All phases, in [`Phase::index`] order.
+    pub const ALL: [Self; 5] = [
+        Self::FitnessEval,
+        Self::CoreAllocation,
+        Self::ListScheduling,
+        Self::VoltageScaling,
+        Self::PowerPricing,
+    ];
+
+    /// Number of phases.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index into accumulator arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Self::FitnessEval => 0,
+            Self::CoreAllocation => 1,
+            Self::ListScheduling => 2,
+            Self::VoltageScaling => 3,
+            Self::PowerPricing => 4,
+        }
+    }
+
+    /// Nesting depth: 0 for the whole-evaluation span, 1 for its parts.
+    pub fn depth(self) -> u8 {
+        match self {
+            Self::FitnessEval => 0,
+            _ => 1,
+        }
+    }
+
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::FitnessEval => "fitness_eval",
+            Self::CoreAllocation => "core_allocation",
+            Self::ListScheduling => "list_scheduling",
+            Self::VoltageScaling => "voltage_scaling",
+            Self::PowerPricing => "power_pricing",
+        }
+    }
+}
+
+/// Accumulated monotonic-clock spans of one phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Which phase.
+    pub phase: Phase,
+    /// Total nanoseconds spent in this phase.
+    pub nanos: u64,
+    /// Number of spans measured.
+    pub spans: u64,
+    /// Nesting depth of the phase ([`Phase::depth`]).
+    pub depth: u8,
+}
+
+/// Accumulates per-phase wall time with interior mutability, so shared
+/// references (e.g. from a cost function taking `&self`) can measure.
+///
+/// When constructed disabled, [`PhaseAccumulator::measure`] runs the
+/// closure without touching the clock — a single branch of overhead.
+#[derive(Debug)]
+pub struct PhaseAccumulator {
+    enabled: bool,
+    nanos: [Cell<u64>; Phase::COUNT],
+    spans: [Cell<u64>; Phase::COUNT],
+}
+
+impl PhaseAccumulator {
+    /// Creates an accumulator; `enabled` decides whether spans are timed.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            nanos: std::array::from_fn(|_| Cell::new(0)),
+            spans: std::array::from_fn(|_| Cell::new(0)),
+        }
+    }
+
+    /// An accumulator that measures nothing.
+    pub fn disabled() -> Self {
+        Self::new(false)
+    }
+
+    /// Whether spans are being timed.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns measurement on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Runs `f`, charging its wall time to `phase` when enabled.
+    #[inline]
+    pub fn measure<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        let i = phase.index();
+        self.nanos[i].set(self.nanos[i].get() + start.elapsed().as_nanos() as u64);
+        self.spans[i].set(self.spans[i].get() + 1);
+        out
+    }
+
+    /// Starts an RAII span charged to `phase` when the guard drops.
+    /// Useful when a measured region runs to the end of a scope and a
+    /// closure would be awkward.
+    #[inline]
+    pub fn measure_guard(&self, phase: Phase) -> PhaseGuard<'_> {
+        PhaseGuard { acc: self, phase, start: self.enabled.then(Instant::now) }
+    }
+
+    /// Accumulated timings of every phase that measured at least one span.
+    pub fn timings(&self) -> Vec<PhaseTiming> {
+        Phase::ALL
+            .iter()
+            .filter(|p| self.spans[p.index()].get() > 0)
+            .map(|&phase| PhaseTiming {
+                phase,
+                nanos: self.nanos[phase.index()].get(),
+                spans: self.spans[phase.index()].get(),
+                depth: phase.depth(),
+            })
+            .collect()
+    }
+}
+
+/// An in-flight span from [`PhaseAccumulator::measure_guard`]; charges
+/// its elapsed time on drop. Does nothing when the accumulator is
+/// disabled.
+#[derive(Debug)]
+pub struct PhaseGuard<'a> {
+    acc: &'a PhaseAccumulator,
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let i = self.phase.index();
+            self.acc.nanos[i].set(self.acc.nanos[i].get() + start.elapsed().as_nanos() as u64);
+            self.acc.spans[i].set(self.acc.spans[i].get() + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_are_dense_and_consistent() {
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            assert_eq!(phase.index(), i);
+        }
+        assert_eq!(Phase::FitnessEval.depth(), 0);
+        for phase in &Phase::ALL[1..] {
+            assert_eq!(phase.depth(), 1);
+        }
+    }
+
+    #[test]
+    fn disabled_accumulator_measures_nothing() {
+        let acc = PhaseAccumulator::disabled();
+        let v = acc.measure(Phase::ListScheduling, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(acc.timings().is_empty());
+    }
+
+    #[test]
+    fn enabled_accumulator_counts_spans_and_time() {
+        let acc = PhaseAccumulator::new(true);
+        for _ in 0..3 {
+            acc.measure(Phase::VoltageScaling, || std::hint::black_box(0u64));
+        }
+        acc.measure(Phase::FitnessEval, || ());
+        let timings = acc.timings();
+        assert_eq!(timings.len(), 2);
+        let vs = timings.iter().find(|t| t.phase == Phase::VoltageScaling).unwrap();
+        assert_eq!(vs.spans, 3);
+        assert_eq!(vs.depth, 1);
+        let fe = timings.iter().find(|t| t.phase == Phase::FitnessEval).unwrap();
+        assert_eq!(fe.spans, 1);
+        assert_eq!(fe.depth, 0);
+    }
+
+    #[test]
+    fn guard_charges_its_span_on_drop() {
+        let acc = PhaseAccumulator::new(true);
+        {
+            let _g = acc.measure_guard(Phase::PowerPricing);
+            std::hint::black_box(0u64);
+        }
+        let timings = acc.timings();
+        assert_eq!(timings.len(), 1);
+        assert_eq!(timings[0].phase, Phase::PowerPricing);
+        assert_eq!(timings[0].spans, 1);
+
+        let off = PhaseAccumulator::disabled();
+        drop(off.measure_guard(Phase::PowerPricing));
+        assert!(off.timings().is_empty());
+    }
+
+    #[test]
+    fn phase_serializes_as_bare_string() {
+        let json = serde_json::to_string(&Phase::CoreAllocation).unwrap();
+        assert_eq!(json, "\"CoreAllocation\"");
+        let back: Phase = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Phase::CoreAllocation);
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`ga`]    | the generic genetic-algorithm engine |
 //! | [`synthesis`] | the paper's contribution: multi-mode mapping GA with improvement operators |
 //! | [`generators`] | benchmark generators: mul1–mul12 suite, smart phone, motivational examples |
+//! | [`telemetry`] | structured run events, phase timers and machine-readable run summaries |
 //!
 //! # Quickstart
 //!
@@ -47,3 +48,4 @@ pub use momsynth_gen as generators;
 pub use momsynth_model as model;
 pub use momsynth_power as power;
 pub use momsynth_sched as sched;
+pub use momsynth_telemetry as telemetry;

@@ -1,0 +1,254 @@
+//! VCD export checks: a golden-file test pinning the exact trace of the
+//! smart-phone example, and property tests asserting that the `busy` /
+//! `act` signals reconstructed from the VCD text match the schedule's
+//! activity intervals on every resource.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use momsynth::generators::smartphone::smartphone;
+use momsynth::generators::suite::{generate, GeneratorParams};
+use momsynth::model::ids::ModeId;
+use momsynth::model::System;
+use momsynth::sched::{
+    schedule_mode, schedule_to_vcd, ActivityId, CoreAllocation, Schedule, SchedulerOptions,
+    SystemMapping,
+};
+
+/// The deterministic "first candidate PE per task" mapping.
+fn first_candidate_mapping(system: &System) -> SystemMapping {
+    SystemMapping::from_fn(system, |id| system.candidate_pes(id)[0])
+}
+
+fn schedule_of(system: &System, mapping: &SystemMapping, mode: ModeId) -> Schedule {
+    let alloc = CoreAllocation::minimal(system, mapping);
+    schedule_mode(system, mode, mapping, &alloc, SchedulerOptions::default())
+        .expect("generated architectures are fully connected")
+}
+
+fn to_nanos(t: momsynth::model::units::Seconds) -> u64 {
+    (t.value() * 1e9).round() as u64
+}
+
+/// Closed-open `(start_ns, finish_ns)` intervals for one resource.
+type Intervals = Vec<(u64, u64)>;
+
+/// The busy intervals and observed activity codes per resource index,
+/// reconstructed by replaying the VCD value changes.
+struct ReplayedTrace {
+    /// Closed-open busy intervals `(rise_ns, fall_ns)` per resource.
+    busy: Vec<Intervals>,
+    /// Every non-zero `act` code observed per resource.
+    codes: Vec<Vec<u16>>,
+}
+
+/// Replays `vcd`, asserting on the way that `busy` is high exactly while
+/// `act` is non-zero.
+fn replay(vcd: &str) -> ReplayedTrace {
+    // Header: the i-th declared 1-bit var is resource i's busy signal,
+    // the i-th 8-bit var its act vector (declaration order follows
+    // `Schedule::sequences`).
+    let mut busy_syms: Vec<String> = Vec::new();
+    let mut act_syms: Vec<String> = Vec::new();
+    for line in vcd.lines() {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if let ["$var", "wire", width, sym, _name, "$end"] = parts.as_slice() {
+            match *width {
+                "1" => busy_syms.push((*sym).to_string()),
+                "8" => act_syms.push((*sym).to_string()),
+                other => panic!("unexpected var width {other}"),
+            }
+        }
+    }
+    assert_eq!(busy_syms.len(), act_syms.len(), "busy/act vars must pair up");
+    let busy_of: BTreeMap<&str, usize> =
+        busy_syms.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
+    let act_of: BTreeMap<&str, usize> =
+        act_syms.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
+
+    let n = busy_syms.len();
+    let mut busy_now = vec![false; n];
+    let mut act_now = vec![0u16; n];
+    let mut rise = vec![None::<u64>; n];
+    let mut trace = ReplayedTrace { busy: vec![Vec::new(); n], codes: vec![Vec::new(); n] };
+    let mut time = 0u64;
+    let mut in_header = true;
+    for line in vcd.lines() {
+        if line == "$enddefinitions $end" {
+            in_header = false;
+            continue;
+        }
+        if in_header || line.is_empty() || line.starts_with('$') {
+            continue;
+        }
+        if let Some(t) = line.strip_prefix('#') {
+            // Between timestamps the signals must be mutually consistent.
+            for (i, (busy, act)) in busy_now.iter().zip(&act_now).enumerate() {
+                assert_eq!(*busy, *act != 0, "resource {i}: busy and act disagree before #{t}");
+            }
+            let t: u64 = t.parse().expect("numeric timestamp");
+            assert!(t >= time, "timestamps must be monotone");
+            time = t;
+        } else if let Some((bits, sym)) = line[1..].split_once(' ') {
+            assert!(line.starts_with('b'), "vector change must start with b: {line}");
+            let idx = act_of[sym];
+            let code = u16::from_str_radix(bits, 2).expect("binary act value");
+            act_now[idx] = code;
+            if code != 0 {
+                trace.codes[idx].push(code);
+            }
+        } else {
+            let (value, sym) = line.split_at(1);
+            let idx = busy_of[sym];
+            let high = value == "1";
+            if high && !busy_now[idx] {
+                rise[idx] = Some(time);
+            }
+            if !high && busy_now[idx] {
+                let start = rise[idx].take().expect("fall implies an earlier rise");
+                trace.busy[idx].push((start, time));
+            }
+            busy_now[idx] = high;
+        }
+    }
+    for (i, busy) in busy_now.iter().enumerate() {
+        assert!(!busy, "resource {i} still busy when the trace ends");
+    }
+    trace
+}
+
+/// Merges touching/overlapping `(start, finish)` intervals and drops
+/// empty ones — the busy wire cannot distinguish back-to-back activities.
+fn merge(mut intervals: Intervals) -> Intervals {
+    intervals.retain(|(s, f)| f > s);
+    intervals.sort_unstable();
+    let mut merged: Intervals = Vec::new();
+    for (s, f) in intervals {
+        match merged.last_mut() {
+            Some((_, last_f)) if s <= *last_f => *last_f = (*last_f).max(f),
+            _ => merged.push((s, f)),
+        }
+    }
+    merged
+}
+
+/// Expected busy intervals and act codes per resource, from the schedule.
+fn expected(schedule: &Schedule) -> (Vec<Intervals>, Vec<Vec<u16>>) {
+    let mut busy = Vec::new();
+    let mut codes = Vec::new();
+    for (_, acts) in schedule.sequences() {
+        let mut intervals = Vec::new();
+        let mut resource_codes = Vec::new();
+        for act in acts {
+            let (start, finish, code) = match act {
+                ActivityId::Task(t) => {
+                    let e = schedule.task(*t);
+                    (e.start, e.finish(), t.index() as u16 + 1)
+                }
+                ActivityId::Comm(c) => {
+                    let e = schedule.comm(*c).expect("sequenced comm is remote");
+                    (e.start, e.finish(), c.index() as u16 + 1)
+                }
+            };
+            if finish > start {
+                resource_codes.push(code);
+            }
+            intervals.push((to_nanos(start), to_nanos(finish)));
+        }
+        busy.push(merge(intervals));
+        codes.push(resource_codes);
+    }
+    (busy, codes)
+}
+
+#[test]
+fn smartphone_vcd_matches_golden_file() {
+    let system = smartphone();
+    let mapping = first_candidate_mapping(&system);
+    let vcd = schedule_to_vcd(&system, &schedule_of(&system, &mapping, ModeId::new(0)));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/smartphone_mode0.vcd");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &vcd).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file exists; regenerate with BLESS=1 cargo test smartphone_vcd");
+    assert_eq!(vcd, golden, "VCD output drifted; regenerate with BLESS=1 if intentional");
+}
+
+#[test]
+fn smartphone_vcd_replays_consistently_on_every_mode() {
+    let system = smartphone();
+    let mapping = first_candidate_mapping(&system);
+    for mode in system.omsm().mode_ids() {
+        let schedule = schedule_of(&system, &mapping, mode);
+        let trace = replay(&schedule_to_vcd(&system, &schedule));
+        let (busy, _) = expected(&schedule);
+        assert_eq!(trace.busy, busy, "mode {mode:?}");
+    }
+}
+
+/// A small generated system plus a random (valid) mapping for it.
+fn system_and_mapping() -> impl Strategy<Value = (System, SystemMapping)> {
+    (1u64..500, 1usize..3, 4usize..12, 0usize..2, proptest::collection::vec(0usize..8, 64))
+        .prop_map(|(seed, modes, tasks, extra_hw, picks)| {
+            let mut params = GeneratorParams::new("vcd_prop", seed);
+            params.modes = modes;
+            params.tasks_per_mode = (tasks, tasks + 4);
+            params.hardware_pes = 1 + extra_hw;
+            params.type_pool = 8;
+            let system = generate(&params);
+            let mut i = 0;
+            let mapping = SystemMapping::from_fn(&system, |id| {
+                let candidates = system.candidate_pes(id);
+                let pick = picks[i % picks.len()];
+                i += 1;
+                candidates[pick % candidates.len()]
+            });
+            (system, mapping)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// `busy` rises and falls exactly around the schedule's merged
+    /// activity intervals, and `busy == (act != 0)` throughout (asserted
+    /// inside `replay`).
+    #[test]
+    fn busy_intervals_reconstruct_the_schedule((system, mapping) in system_and_mapping()) {
+        for mode in system.omsm().mode_ids() {
+            let schedule = schedule_of(&system, &mapping, mode);
+            let trace = replay(&schedule_to_vcd(&system, &schedule));
+            let (busy, _) = expected(&schedule);
+            prop_assert_eq!(&trace.busy, &busy);
+        }
+    }
+
+    /// Every non-idle `act` value carries `activity id + 1` for an
+    /// activity scheduled on that resource, and every non-empty activity
+    /// shows up.
+    #[test]
+    fn act_codes_identify_the_scheduled_activities((system, mapping) in system_and_mapping()) {
+        for mode in system.omsm().mode_ids() {
+            let schedule = schedule_of(&system, &mapping, mode);
+            let trace = replay(&schedule_to_vcd(&system, &schedule));
+            let (_, codes) = expected(&schedule);
+            for (observed, expected_codes) in trace.codes.iter().zip(&codes) {
+                for code in observed {
+                    prop_assert!(
+                        expected_codes.contains(code),
+                        "act code {} not scheduled on this resource", code
+                    );
+                }
+                for code in expected_codes {
+                    prop_assert!(
+                        observed.contains(code),
+                        "scheduled activity {} never appears in the VCD", code
+                    );
+                }
+            }
+        }
+    }
+}
