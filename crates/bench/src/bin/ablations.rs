@@ -110,7 +110,9 @@ fn measure(
         if result.best.is_feasible() {
             feasible += 1;
         }
-        summaries.push(result.summary(system, synthesizer.config()));
+        if let Some(summary) = momsynth_bench::verified_summary(system, &synthesizer, &result) {
+            summaries.push(summary);
+        }
     }
     (power / options.runs as f64, feasible as f64 / options.runs as f64)
 }

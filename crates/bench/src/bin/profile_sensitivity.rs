@@ -81,7 +81,11 @@ fn main() {
             let cfg = options.config(options.base_seed + i, true, true);
             let synthesizer = Synthesizer::new(system, cfg);
             let result = synthesizer.run().expect("schedulable system");
-            summaries.push(result.summary(system, synthesizer.config()));
+            if let Some(summary) =
+                momsynth_bench::verified_summary(system, &synthesizer, &result)
+            {
+                summaries.push(summary);
+            }
             if best.as_ref().is_none_or(|b| result.best.fitness < b.best.fitness) {
                 best = Some(result);
             }

@@ -3,13 +3,15 @@
 //!
 //! Usage: `cargo run --release -p momsynth-bench --bin table1 [--runs N] [--seed S] [--quick] [--out DIR]`
 
-use momsynth_bench::{compare_flows_detailed, render_table, write_results, HarnessOptions};
+use momsynth_bench::{
+    compare_flows_detailed, render_table, retain_verified, write_results, HarnessOptions,
+};
 use momsynth_gen::suite::mul_suite;
 
 fn main() {
     let options = HarnessOptions::from_args();
     let mut summaries = Vec::new();
-    let rows: Vec<_> = mul_suite()
+    let mut rows: Vec<_> = mul_suite()
         .iter()
         .map(|system| {
             eprintln!("synthesising {} …", system.name());
@@ -18,6 +20,7 @@ fn main() {
             row
         })
         .collect();
+    retain_verified(&mut rows);
     let table = render_table(
         &format!(
             "Table 1 — considering execution probabilities (w/o DVS), {} runs/flow",

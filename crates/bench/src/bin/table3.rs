@@ -3,7 +3,9 @@
 //!
 //! Usage: `cargo run --release -p momsynth-bench --bin table3 [--runs N] [--seed S] [--quick] [--out DIR]`
 
-use momsynth_bench::{compare_flows_detailed, render_table, write_results, HarnessOptions};
+use momsynth_bench::{
+    compare_flows_detailed, render_table, retain_verified, write_results, HarnessOptions,
+};
 use momsynth_gen::smartphone::smartphone;
 
 fn main() {
@@ -20,9 +22,11 @@ fn main() {
     summaries.extend(dvs_summaries);
 
     let overall = (1.0 - dvs.power_aware_mw / fixed.power_neglecting_mw) * 100.0;
+    let mut rows = vec![fixed, dvs];
+    retain_verified(&mut rows);
     let mut report = render_table(
         &format!("Table 3 — smart phone, {} runs/flow", options.runs),
-        &[fixed, dvs],
+        &rows,
     );
     report.push_str(&format!(
         "overall reduction (w/o DVS, w/o probab. -> DVS + probab.): {overall:.2} %\n"

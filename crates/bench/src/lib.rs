@@ -28,7 +28,7 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use momsynth_core::{SynthesisConfig, Synthesizer};
+use momsynth_core::{invariant_breach, SynthesisConfig, SynthesisResult, Synthesizer};
 use momsynth_model::System;
 use momsynth_telemetry::RunSummary;
 
@@ -49,6 +49,10 @@ pub struct ComparisonRow {
     pub time_aware_s: f64,
     /// Fraction of runs whose best solution met all constraints.
     pub feasible_fraction: f64,
+    /// Whether every run behind this row passed the independent
+    /// `momsynth-check` re-verification. Unverified rows must not be
+    /// persisted — see [`retain_verified`].
+    pub verified: bool,
 }
 
 impl ComparisonRow {
@@ -152,10 +156,11 @@ pub fn compare_flows_detailed(
     options: &HarnessOptions,
 ) -> (ComparisonRow, Vec<RunSummary>) {
     let mut summaries = Vec::new();
-    let mut run_flow = |aware: bool| -> (f64, f64, u64) {
+    let mut run_flow = |aware: bool| -> (f64, f64, u64, bool) {
         let mut power_sum = 0.0;
         let mut time_sum = 0.0;
         let mut feasible = 0u64;
+        let mut verified = true;
         for i in 0..options.runs {
             let cfg = options.config(options.base_seed + i, aware, dvs);
             let synthesizer = Synthesizer::new(system, cfg);
@@ -166,14 +171,17 @@ pub fn compare_flows_detailed(
             if result.best.is_feasible() {
                 feasible += 1;
             }
-            summaries.push(result.summary(system, synthesizer.config()));
+            match verified_summary(system, &synthesizer, &result) {
+                Some(summary) => summaries.push(summary),
+                None => verified = false,
+            }
         }
         let n = options.runs as f64;
-        (power_sum / n, time_sum / n, feasible)
+        (power_sum / n, time_sum / n, feasible, verified)
     };
 
-    let (power_neglecting_mw, time_neglecting_s, feas_n) = run_flow(false);
-    let (power_aware_mw, time_aware_s, feas_a) = run_flow(true);
+    let (power_neglecting_mw, time_neglecting_s, feas_n, ver_n) = run_flow(false);
+    let (power_aware_mw, time_aware_s, feas_a, ver_a) = run_flow(true);
     let row = ComparisonRow {
         name: system.name().to_owned(),
         modes: system.omsm().mode_count(),
@@ -182,8 +190,49 @@ pub fn compare_flows_detailed(
         power_aware_mw,
         time_aware_s,
         feasible_fraction: (feas_n + feas_a) as f64 / (2 * options.runs) as f64,
+        verified: ver_n && ver_a,
     };
     (row, summaries)
+}
+
+/// Re-proves a finished run with the independent `momsynth-check` oracle
+/// and renders its [`RunSummary`]. Returns `None` — after a stderr
+/// warning — when the checker disagrees with the synthesiser, so the
+/// record never reaches `results_*.json` (every persisted Eq. 1 average
+/// was independently recomputed to 1e-9).
+pub fn verified_summary(
+    system: &System,
+    synthesizer: &Synthesizer<'_>,
+    result: &SynthesisResult,
+) -> Option<RunSummary> {
+    match invariant_breach(system, &result.best) {
+        Some(report) => {
+            eprintln!(
+                "warning: dropping a `{}` run from results — verification failed: {report}",
+                system.name()
+            );
+            None
+        }
+        None => Some(result.summary(system, synthesizer.config())),
+    }
+}
+
+/// Drops rows backed by any run that failed independent verification,
+/// warning on stderr; returns how many were dropped. Table binaries call
+/// this before rendering so `results_*.txt` never publishes a row the
+/// checker rejected.
+pub fn retain_verified(rows: &mut Vec<ComparisonRow>) -> usize {
+    let before = rows.len();
+    rows.retain(|row| {
+        if !row.verified {
+            eprintln!(
+                "warning: dropping `{}` from the results table: a run failed verification",
+                row.name
+            );
+        }
+        row.verified
+    });
+    before - rows.len()
 }
 
 /// Renders rows in the paper's Table 1/2 layout.
@@ -272,8 +321,38 @@ mod tests {
             power_aware_mw: 7.5,
             time_aware_s: 1.0,
             feasible_fraction: 1.0,
+            verified: true,
         };
         assert!((row.reduction_percent() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retain_verified_drops_unverified_rows() {
+        let row = |name: &str, verified: bool| ComparisonRow {
+            name: name.into(),
+            modes: 1,
+            power_neglecting_mw: 1.0,
+            time_neglecting_s: 0.0,
+            power_aware_mw: 1.0,
+            time_aware_s: 0.0,
+            feasible_fraction: 1.0,
+            verified,
+        };
+        let mut rows = vec![row("good", true), row("bad", false), row("also_good", true)];
+        assert_eq!(retain_verified(&mut rows), 1);
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["good", "also_good"]);
+    }
+
+    #[test]
+    fn verified_summary_rejects_corrupted_results() {
+        let system = mul(9);
+        let options = HarnessOptions { runs: 1, base_seed: 5, quick: true, out: None };
+        let synthesizer = Synthesizer::new(&system, options.config(5, true, false));
+        let mut result = synthesizer.run().expect("schedulable system");
+        assert!(verified_summary(&system, &synthesizer, &result).is_some());
+        result.best.power.average = result.best.power.average * 2.0;
+        assert!(verified_summary(&system, &synthesizer, &result).is_none());
     }
 
     #[test]
@@ -290,6 +369,7 @@ mod tests {
         assert!(summaries[1].probability_aware);
         assert_eq!(summaries[0].system, row.name);
         assert!((summaries[1].average_power_mw - row.power_aware_mw).abs() < 1e-9);
+        assert!(row.verified, "genuine runs must pass re-verification");
     }
 
     #[test]

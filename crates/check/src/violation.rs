@@ -1,0 +1,387 @@
+//! Typed verification findings and the aggregate [`CheckReport`].
+
+use std::fmt;
+
+use momsynth_model::ids::{ModeId, PeId, TaskId, TransitionId};
+use momsynth_model::units::{Cells, Seconds, Volts, Watts};
+use momsynth_sched::ScheduleViolation;
+
+/// One verified defect in a finished synthesis result.
+///
+/// Mirrors [`ScheduleViolation`]'s style: a typed, non-exhaustive enum
+/// with human-readable [`fmt::Display`] output. Variants fall into two
+/// families, distinguished by [`Violation::is_constraint`]:
+///
+/// * *design-constraint* findings — the paper's constraints (a) area,
+///   (b) deadlines/periods and (c) transition times. A solution the
+///   optimiser itself reports as infeasible may legitimately carry
+///   these;
+/// * *consistency* findings — the result's parts contradict each other
+///   or the system specification. These are never legitimate and
+///   indicate a bug in the constructive pipeline (or a corrupted
+///   result file).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A task is mapped to a PE its type has no implementation for.
+    MissingImplementation {
+        /// Mode containing the task.
+        mode: ModeId,
+        /// The unimplementable task.
+        task: TaskId,
+        /// The PE it was mapped to.
+        pe: PeId,
+    },
+    /// The result's parts do not fit the system specification (wrong
+    /// vector lengths, foreign ids) and cannot be checked further.
+    Malformed {
+        /// What exactly does not line up.
+        detail: String,
+    },
+    /// A mode's schedule breaks a structural scheduling rule (precedence,
+    /// resource exclusivity, routing, …) per [`ScheduleViolation`].
+    ScheduleIllegal {
+        /// Mode whose schedule is illegal.
+        mode: ModeId,
+        /// The underlying structural violation.
+        violation: ScheduleViolation,
+    },
+    /// An unscaled task's scheduled execution time differs from its
+    /// implementation's nominal execution time.
+    ExecTimeMismatch {
+        /// Mode containing the task.
+        mode: ModeId,
+        /// The mistimed task.
+        task: TaskId,
+        /// The implementation's nominal execution time.
+        expected: Seconds,
+        /// The execution time recorded in the schedule.
+        actual: Seconds,
+    },
+    /// A task on a fixed-voltage PE carries a voltage schedule.
+    VoltageOnFixedPe {
+        /// Mode containing the task.
+        mode: ModeId,
+        /// The wrongly scaled task.
+        task: TaskId,
+        /// The DVS-incapable PE it runs on.
+        pe: PeId,
+    },
+    /// A voltage-schedule segment uses a supply outside the PE's
+    /// `[v_min, v_max]` range (or at/below the threshold voltage).
+    VoltageOutOfRange {
+        /// Mode containing the task.
+        mode: ModeId,
+        /// The task whose schedule is out of range.
+        task: TaskId,
+        /// The offending supply voltage.
+        voltage: Volts,
+    },
+    /// A voltage schedule's cycle fractions do not sum to one.
+    CycleFractionsInvalid {
+        /// Mode containing the task.
+        mode: ModeId,
+        /// The task whose fractions are inconsistent.
+        task: TaskId,
+        /// The actual fraction sum.
+        sum: f64,
+    },
+    /// The execution time re-derived from first principles (`Σ fraction ·
+    /// t_min · stretch(V)` under the alpha-power delay model) disagrees
+    /// with the schedule slot.
+    VoltageTimeMismatch {
+        /// Mode containing the task.
+        mode: ModeId,
+        /// The mistimed task.
+        task: TaskId,
+        /// Execution time re-derived from the voltage schedule.
+        derived: Seconds,
+        /// Execution time recorded in the schedule.
+        scheduled: Seconds,
+    },
+    /// PV-DVS increased a task's energy above its nominal-voltage energy.
+    EnergyIncreased {
+        /// Mode containing the task.
+        mode: ModeId,
+        /// The task whose energy grew.
+        task: TaskId,
+        /// The energy factor relative to nominal execution (must be ≤ 1).
+        factor: f64,
+    },
+    /// A reported per-mode power differs from the independent Eq. 1
+    /// recomputation.
+    ModePowerMismatch {
+        /// The mode whose power disagrees.
+        mode: ModeId,
+        /// The power the result reports.
+        reported: Watts,
+        /// The independently recomputed power.
+        recomputed: Watts,
+    },
+    /// The reported Eq. 1 average power `p̄` differs from the independent
+    /// probability-weighted recomputation.
+    AveragePowerMismatch {
+        /// The average power the result reports.
+        reported: Watts,
+        /// The independently recomputed average power.
+        recomputed: Watts,
+    },
+    /// Constraint (a): the cores allocated on a hardware PE exceed its
+    /// area budget.
+    AreaOverflow {
+        /// The overcommitted PE.
+        pe: PeId,
+        /// Area the allocation requires.
+        required: Cells,
+        /// The PE's area capacity.
+        capacity: Cells,
+    },
+    /// Constraint (b): a task finishes after its effective deadline
+    /// `min(θ, φ)`.
+    DeadlineMissed {
+        /// Mode containing the task.
+        mode: ModeId,
+        /// The late task.
+        task: TaskId,
+        /// When the task finishes.
+        finish: Seconds,
+        /// Its effective deadline.
+        deadline: Seconds,
+    },
+    /// Constraint (b): an activity finishes after the mode's period.
+    PeriodExceeded {
+        /// The overrunning mode.
+        mode: ModeId,
+        /// When the last activity finishes.
+        finish: Seconds,
+        /// The mode's period `φ`.
+        period: Seconds,
+    },
+    /// Constraint (c): a mode transition's FPGA reconfiguration exceeds
+    /// its limit `t_T^max`.
+    TransitionOverrun {
+        /// The overrunning transition.
+        transition: TransitionId,
+        /// Total reconfiguration time.
+        time: Seconds,
+        /// The specification's limit `t_T^max`.
+        limit: Seconds,
+    },
+}
+
+impl Violation {
+    /// `true` for findings against the paper's design constraints
+    /// (a)/(b)/(c), which an optimiser-reported-infeasible solution may
+    /// legitimately carry; `false` for internal-consistency defects,
+    /// which never are.
+    pub fn is_constraint(&self) -> bool {
+        matches!(
+            self,
+            Violation::AreaOverflow { .. }
+                | Violation::DeadlineMissed { .. }
+                | Violation::PeriodExceeded { .. }
+                | Violation::TransitionOverrun { .. }
+        )
+    }
+
+    /// A stable machine-readable code naming the violation kind.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Violation::MissingImplementation { .. } => "missing-implementation",
+            Violation::Malformed { .. } => "malformed",
+            Violation::ScheduleIllegal { .. } => "schedule-illegal",
+            Violation::ExecTimeMismatch { .. } => "exec-time-mismatch",
+            Violation::VoltageOnFixedPe { .. } => "voltage-on-fixed-pe",
+            Violation::VoltageOutOfRange { .. } => "voltage-out-of-range",
+            Violation::CycleFractionsInvalid { .. } => "cycle-fractions-invalid",
+            Violation::VoltageTimeMismatch { .. } => "voltage-time-mismatch",
+            Violation::EnergyIncreased { .. } => "energy-increased",
+            Violation::ModePowerMismatch { .. } => "mode-power-mismatch",
+            Violation::AveragePowerMismatch { .. } => "average-power-mismatch",
+            Violation::AreaOverflow { .. } => "area-overflow",
+            Violation::DeadlineMissed { .. } => "deadline-missed",
+            Violation::PeriodExceeded { .. } => "period-exceeded",
+            Violation::TransitionOverrun { .. } => "transition-overrun",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MissingImplementation { mode, task, pe } => write!(
+                f,
+                "mode {mode}: task {task} is mapped to {pe}, but its type has no implementation there"
+            ),
+            Violation::Malformed { detail } => write!(f, "malformed result: {detail}"),
+            Violation::ScheduleIllegal { mode, violation } => {
+                write!(f, "mode {mode}: illegal schedule: {violation}")
+            }
+            Violation::ExecTimeMismatch { mode, task, expected, actual } => write!(
+                f,
+                "mode {mode}: task {task} is scheduled for {actual} but its nominal execution time is {expected}"
+            ),
+            Violation::VoltageOnFixedPe { mode, task, pe } => write!(
+                f,
+                "mode {mode}: task {task} carries a voltage schedule on {pe}, which has no DVS capability"
+            ),
+            Violation::VoltageOutOfRange { mode, task, voltage } => write!(
+                f,
+                "mode {mode}: task {task} runs a segment at {voltage}, outside its PE's supply range"
+            ),
+            Violation::CycleFractionsInvalid { mode, task, sum } => write!(
+                f,
+                "mode {mode}: task {task}'s voltage-schedule cycle fractions sum to {sum} instead of 1"
+            ),
+            Violation::VoltageTimeMismatch { mode, task, derived, scheduled } => write!(
+                f,
+                "mode {mode}: task {task} is scheduled for {scheduled}, but its voltage schedule derives to {derived}"
+            ),
+            Violation::EnergyIncreased { mode, task, factor } => write!(
+                f,
+                "mode {mode}: task {task}'s voltage schedule raises energy by factor {factor} over nominal"
+            ),
+            Violation::ModePowerMismatch { mode, reported, recomputed } => write!(
+                f,
+                "mode {mode}: reported power {reported} differs from the recomputed {recomputed}"
+            ),
+            Violation::AveragePowerMismatch { reported, recomputed } => write!(
+                f,
+                "reported average power {reported} differs from the recomputed Eq. 1 value {recomputed}"
+            ),
+            Violation::AreaOverflow { pe, required, capacity } => write!(
+                f,
+                "constraint (a): {pe} needs {required} of area but only has {capacity}"
+            ),
+            Violation::DeadlineMissed { mode, task, finish, deadline } => write!(
+                f,
+                "constraint (b): mode {mode}: task {task} finishes at {finish}, after its deadline {deadline}"
+            ),
+            Violation::PeriodExceeded { mode, finish, period } => write!(
+                f,
+                "constraint (b): mode {mode} finishes at {finish}, after its period {period}"
+            ),
+            Violation::TransitionOverrun { transition, time, limit } => write!(
+                f,
+                "constraint (c): transition {transition} reconfigures for {time}, over its limit {limit}"
+            ),
+        }
+    }
+}
+
+/// The aggregate outcome of [`crate::check_solution`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CheckReport {
+    violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// Wraps a list of findings into a report.
+    pub fn new(violations: Vec<Violation>) -> Self {
+        Self { violations }
+    }
+
+    /// All findings, in check order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// `true` when no check found anything.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// `true` when any finding targets a paper design constraint.
+    pub fn has_constraint_violations(&self) -> bool {
+        self.violations.iter().any(Violation::is_constraint)
+    }
+
+    /// `true` when any finding is an internal-consistency defect — never
+    /// legitimate, regardless of the solution's reported feasibility.
+    pub fn has_consistency_violations(&self) -> bool {
+        self.violations.iter().any(|v| !v.is_constraint())
+    }
+
+    /// A machine-readable JSON rendering of the report.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "clean": self.is_clean(),
+            "violation_count": self.violations.len(),
+            "violations": self
+                .violations
+                .iter()
+                .map(|v| {
+                    serde_json::json!({
+                        "code": v.code(),
+                        "constraint": v.is_constraint(),
+                        "message": v.to_string(),
+                    })
+                })
+                .collect::<Vec<_>>(),
+        })
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.violations.is_empty() {
+            return writeln!(f, "ok: no violations");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  [{}] {}", v.code(), v)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constraint() -> Violation {
+        Violation::AreaOverflow {
+            pe: PeId::new(1),
+            required: Cells::new(500),
+            capacity: Cells::new(400),
+        }
+    }
+
+    fn consistency() -> Violation {
+        Violation::AveragePowerMismatch {
+            reported: Watts::from_milli(10.0),
+            recomputed: Watts::from_milli(11.0),
+        }
+    }
+
+    #[test]
+    fn constraint_classification() {
+        assert!(constraint().is_constraint());
+        assert!(!consistency().is_constraint());
+        let report = CheckReport::new(vec![constraint(), consistency()]);
+        assert!(!report.is_clean());
+        assert!(report.has_constraint_violations());
+        assert!(report.has_consistency_violations());
+        assert!(CheckReport::default().is_clean());
+    }
+
+    #[test]
+    fn display_mentions_the_parts() {
+        let text = constraint().to_string();
+        assert!(text.contains("constraint (a)"), "{text}");
+        assert!(text.contains("PE1"), "{text}");
+        let report = CheckReport::new(vec![consistency()]);
+        assert!(report.to_string().contains("average-power-mismatch"));
+        assert!(CheckReport::default().to_string().contains("ok"));
+    }
+
+    #[test]
+    fn json_rendering_is_structured() {
+        let report = CheckReport::new(vec![constraint()]);
+        let json = report.to_json();
+        assert_eq!(json["clean"], serde_json::json!(false));
+        assert_eq!(json["violation_count"], serde_json::json!(1));
+        assert_eq!(json["violations"][0]["code"], serde_json::json!("area-overflow"));
+        assert_eq!(json["violations"][0]["constraint"], serde_json::json!(true));
+    }
+}

@@ -1,8 +1,8 @@
 //! Minimal argument parsing for the `momsynth` CLI.
 //!
-//! Hand-rolled on purpose: the CLI has five subcommands with a handful of
-//! flags each, and keeping the workspace's dependency footprint small
-//! (see `DESIGN.md`) beats pulling in a full parser generator.
+//! Hand-rolled on purpose: the CLI has a handful of subcommands with a
+//! handful of flags each, and keeping the workspace's dependency footprint
+//! small (see `DESIGN.md`) beats pulling in a full parser generator.
 
 use std::fmt;
 
@@ -82,6 +82,17 @@ pub enum Command {
         progress: bool,
         /// Silence all human chatter on stdout/stderr.
         quiet: bool,
+    },
+    /// `check <system.json> <solution.json> [--report-out report.json]` —
+    /// independently re-verify a finished solution against every paper
+    /// constraint.
+    Check {
+        /// Path of the system specification.
+        path: String,
+        /// Path of the solution report written by `synth -o`.
+        solution: String,
+        /// Where to write the JSON verification report.
+        report_out: Option<String>,
     },
     /// `help` or no arguments.
     Help,
@@ -336,6 +347,28 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 quiet,
             })
         }
+        "check" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| ParseError("check requires a system file".into()))?
+                .clone();
+            let solution = args
+                .get(2)
+                .ok_or_else(|| ParseError("check requires a solution file".into()))?
+                .clone();
+            let mut report_out = None;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--report-out" => {
+                        report_out = Some(take_value(args, &mut i, "--report-out")?.to_owned());
+                    }
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Check { path, solution, report_out })
+        }
         other => Err(ParseError(format!("unknown command `{other}` (try `momsynth help`)"))),
     }
 }
@@ -363,7 +396,17 @@ COMMANDS:
                              --trace-out events.jsonl,
                              --metrics-out summary.json,
                              --progress, --quiet)
+    check <system.json> <solution.json>
+                             re-verify a synthesis result against every
+                             paper constraint [--report-out report.json]
     help                     show this text
+
+CHECK:
+    Re-derives mapping feasibility, schedule legality, deadline/period
+    satisfaction, voltage-schedule legality, transition-time limits and
+    the Eq. 1 average power from the model alone (no shared code with the
+    synthesis inner loop) and compares against the solution file written
+    by `synth -o`. Exit code 2 when any violation is found.
 
 SYNTH BUDGETS AND RESILIENCE:
     --max-seconds / --max-evals stop the search once the budget is spent
@@ -381,9 +424,10 @@ SYNTH OBSERVABILITY:
     generation numbering and counters seamlessly.
 
 EXIT CODES:
-    0  success, best solution feasible
+    0  success, best solution feasible / check found no violations
     1  usage, load or synthesis error
-    2  finished, but the best solution violates constraints
+    2  finished, but the best solution violates constraints / check
+       found violations
     3  cancelled (Ctrl-C); best-so-far solution was reported
 ";
 
@@ -552,6 +596,26 @@ mod tests {
         assert!(parse(&argv("synth s.json --max-seconds -2")).is_err());
         assert!(parse(&argv("synth s.json --max-evals -1")).is_err());
         assert!(parse(&argv("synth s.json --checkpoint")).is_err());
+    }
+
+    #[test]
+    fn check_parses() {
+        assert_eq!(
+            parse(&argv("check sys.json sol.json")).unwrap(),
+            Command::Check { path: "sys.json".into(), solution: "sol.json".into(), report_out: None }
+        );
+        assert_eq!(
+            parse(&argv("check sys.json sol.json --report-out rep.json")).unwrap(),
+            Command::Check {
+                path: "sys.json".into(),
+                solution: "sol.json".into(),
+                report_out: Some("rep.json".into()),
+            }
+        );
+        assert!(parse(&argv("check sys.json")).is_err());
+        assert!(parse(&argv("check")).is_err());
+        assert!(parse(&argv("check sys.json sol.json --report-out")).is_err());
+        assert!(parse(&argv("check sys.json sol.json --bogus")).is_err());
     }
 
     #[test]

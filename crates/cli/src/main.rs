@@ -19,6 +19,7 @@ mod args;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use momsynth_check::StoredSolution;
 use momsynth_core::telemetry::{Fanout, JsonlSink, ProgressSink, Sink, WarningSink};
 use momsynth_core::{
     Checkpoint, CheckpointSpec, StopReason, SynthControl, SynthesisConfig, Synthesizer,
@@ -38,6 +39,7 @@ const EXIT_CANCELLED: u8 = 3;
 /// synthesis loop polls between evaluations, so the run winds down and
 /// still reports (and checkpoints) its best-so-far solution.
 #[cfg(unix)]
+#[allow(unsafe_code)] // libc signal(2) shim; the only unsafe in the workspace
 mod sigint {
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -200,6 +202,31 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             eprintln!("{}", system.summary());
             Ok(ExitCode::SUCCESS)
         }
+        Command::Check { path, solution, report_out } => {
+            let system = load_system(&path)?;
+            let text = std::fs::read_to_string(&solution)
+                .map_err(|e| format!("cannot read `{solution}`: {e}"))?;
+            let value: serde_json::Value = serde_json::from_str(&text)
+                .map_err(|e| format!("cannot parse `{solution}`: {e}"))?;
+            let stored = StoredSolution::from_json(&value)
+                .map_err(|e| format!("`{solution}` is not a solution report: {e}"))?;
+            // A deeply corrupted solution (e.g. ids far out of range that
+            // the shape pass cannot anticipate) may panic inside model
+            // accessors; surface that as a load error, not a crash.
+            let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                stored.check(&system)
+            }))
+            .map_err(|_| format!("`{solution}` is malformed beyond checking"))?;
+            println!("{report}");
+            if let Some(p) = &report_out {
+                write_output(p, &serde_json::to_string_pretty(&report.to_json())?, false)?;
+            }
+            Ok(if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_INFEASIBLE)
+            })
+        }
         Command::Synth {
             path,
             dvs,
@@ -303,6 +330,7 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     "mapping": result.best.mapping,
                     "alloc": result.best.alloc,
                     "schedules": result.best.schedules,
+                    "voltage_schedules": result.best.voltage_schedules,
                     "power": result.best.power,
                     "generations": result.generations,
                     "evaluations": result.evaluations,

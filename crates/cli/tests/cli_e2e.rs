@@ -293,3 +293,61 @@ fn generate_freeform_respects_modes() {
     assert_eq!(system["omsm"]["modes"].as_array().expect("modes array").len(), 3);
     std::fs::remove_file(&path).ok();
 }
+
+/// `check` re-proves a clean solution (exit 0) and rejects a corrupted
+/// one (exit 2), with the JSON report mirroring both verdicts.
+#[test]
+fn check_verifies_clean_solutions_and_rejects_corrupted_ones() {
+    let sys_path = tmp_file("check_sys.json");
+    let sol_path = tmp_file("check_sol.json");
+    let rep_path = tmp_file("check_rep.json");
+    let sys_str = sys_path.to_str().expect("utf-8 temp path");
+    let sol_str = sol_path.to_str().expect("utf-8 temp path");
+    let rep_str = rep_path.to_str().expect("utf-8 temp path");
+
+    let out = momsynth(&["generate", "--preset", "smartphone", "-o", sys_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = momsynth(&["synth", sys_str, "--quick", "--dvs", "--seed", "1", "-o", sol_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // The genuine solution re-verifies with zero violations.
+    let out = momsynth(&["check", sys_str, sol_str, "--report-out", rep_str]);
+    assert_eq!(out.status.code(), Some(0), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("no violations"), "{}", stdout(&out));
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&rep_path).expect("report written"))
+            .expect("valid JSON");
+    assert_eq!(report["clean"].as_bool(), Some(true));
+    assert_eq!(report["violation_count"].as_u64(), Some(0));
+
+    // Inflate the reported Eq. 1 average (its field appears exactly once
+    // in the report); the independent recompute must notice.
+    let text = std::fs::read_to_string(&sol_path).expect("solution readable");
+    assert_eq!(text.matches("\"average\":").count(), 1, "p̄ field must be unique");
+    let start = text.find("\"average\":").expect("p̄ field") + "\"average\":".len();
+    let end = start
+        + text[start..].find([',', '\n', '}']).expect("number terminator");
+    let average: f64 = text[start..end].trim().parse().expect("p̄ is a number");
+    let corrupted = format!("{}{}{}", &text[..start], average * 1.5, &text[end..]);
+    std::fs::write(&sol_path, corrupted).expect("write");
+
+    let out = momsynth(&["check", sys_str, sol_str, "--report-out", rep_str]);
+    assert_eq!(out.status.code(), Some(2), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("average-power-mismatch"), "{}", stdout(&out));
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&rep_path).expect("report written"))
+            .expect("valid JSON");
+    assert_eq!(report["clean"].as_bool(), Some(false));
+    assert!(report["violation_count"].as_u64().expect("count") >= 1);
+
+    // A structurally broken solution file is a load error (exit 1), not
+    // a crash and not a "verified" verdict.
+    std::fs::write(&sol_path, "{\"system\": \"smartphone\"}").expect("write");
+    let out = momsynth(&["check", sys_str, sol_str]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("not a solution report"), "{}", stderr(&out));
+
+    std::fs::remove_file(&sys_path).ok();
+    std::fs::remove_file(&sol_path).ok();
+    std::fs::remove_file(&rep_path).ok();
+}

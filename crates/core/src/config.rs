@@ -154,6 +154,12 @@ pub struct SynthesisConfig {
     /// Deterministic evaluator fault injection for chaos testing; `None`
     /// (the default) evaluates faithfully.
     pub fault_injection: Option<FaultInjection>,
+    /// Re-verify the best individual of every generation (and the final
+    /// refined solution) with the independent `momsynth-check` oracle.
+    /// A failed check panics in debug builds and emits a telemetry
+    /// `Warning` event in release builds. Defaults to `true` under
+    /// `debug_assertions` (tests), `false` in release builds.
+    pub verify_each_generation: bool,
 }
 
 impl SynthesisConfig {
@@ -169,6 +175,7 @@ impl SynthesisConfig {
             improvement_operators: true,
             local_search: LocalSearchOptions::default(),
             fault_injection: None,
+            verify_each_generation: cfg!(debug_assertions),
         }
     }
 

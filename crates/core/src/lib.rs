@@ -50,6 +50,7 @@ pub mod improve;
 pub mod local_search;
 pub mod synthesis;
 pub mod transition;
+pub mod verify;
 
 pub use alloc::{derive_allocation, AllocOptions};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
@@ -64,3 +65,4 @@ pub use momsynth_ga::StopReason;
 pub use momsynth_telemetry as telemetry;
 pub use synthesis::{CheckpointSpec, SynthControl, SynthesisError, SynthesisResult, Synthesizer};
 pub use transition::{transition_timings, TransitionTiming};
+pub use verify::{invariant_breach, verify_solution};

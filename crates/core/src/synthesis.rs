@@ -381,13 +381,24 @@ impl<'a> Synthesizer<'a> {
         }
         type GenerationHook<'h> = Box<dyn FnMut(&GaSnapshot<Gene>) + 'h>;
         let problem_ref = &problem;
-        let on_generation: Option<GenerationHook<'_>> =
-            control.checkpoint.as_ref().map(|spec| {
-                let every = spec.every.max(1);
-                let path = spec.path.clone();
-                let (system, layout, seed) = (self.system, &layout, ga_config.seed);
-                Box::new(move |snapshot: &GaSnapshot<Gene>| {
-                    if snapshot.generation.is_multiple_of(every) {
+        let verify_generations = self.config.verify_each_generation;
+        let checkpoint_spec = control
+            .checkpoint
+            .as_ref()
+            .map(|spec| (spec.every.max(1), spec.path.clone()));
+        // The oracle re-derives solutions through a dedicated evaluator so
+        // its DVS passes never leak into the run's deterministic counters
+        // or phase timings (checkpoint/resume trace equivalence).
+        let verify_evaluator = Evaluator::new(self.system, &self.config);
+        let on_generation: Option<GenerationHook<'_>> = if checkpoint_spec.is_some()
+            || verify_generations
+        {
+            let (system, layout, seed) = (self.system, &layout, ga_config.seed);
+            let evaluator = &verify_evaluator;
+            let dvs_eval = self.config.dvs.as_ref().map(|d| d.eval);
+            Some(Box::new(move |snapshot: &GaSnapshot<Gene>| {
+                if let Some((every, path)) = &checkpoint_spec {
+                    if snapshot.generation.is_multiple_of(*every) {
                         let cp = Checkpoint::capture(
                             system,
                             layout,
@@ -395,7 +406,7 @@ impl<'a> Synthesizer<'a> {
                             snapshot,
                             problem_ref.counters_snapshot(),
                         );
-                        if let Err(e) = cp.save(&path) {
+                        if let Err(e) = cp.save(path) {
                             // Checkpointing is best-effort: losing a
                             // checkpoint must not lose the run.
                             let message = format!("checkpoint not saved: {e}");
@@ -405,8 +416,33 @@ impl<'a> Synthesizer<'a> {
                             }
                         }
                     }
-                }) as GenerationHook<'_>
-            });
+                }
+                if verify_generations {
+                    // Invariant mode: re-derive the generation's best
+                    // individual and hold it against the independent
+                    // checker. An unschedulable best (every candidate
+                    // rejected) has nothing to verify.
+                    let solution = catch_unwind(AssertUnwindSafe(|| {
+                        evaluator.evaluate(layout.decode(&snapshot.best.0), dvs_eval.as_ref())
+                    }))
+                    .ok()
+                    .and_then(Result::ok);
+                    if let Some(solution) = solution {
+                        if let Some(report) = crate::verify::invariant_breach(system, &solution) {
+                            report_breach(
+                                sink,
+                                &format!(
+                                    "generation {}: best individual failed verification: {report}",
+                                    snapshot.generation
+                                ),
+                            );
+                        }
+                    }
+                }
+            }) as GenerationHook<'_>)
+        } else {
+            None
+        };
 
         let outcome = momsynth_ga::run_controlled(
             &problem,
@@ -474,6 +510,12 @@ impl<'a> Synthesizer<'a> {
             }
         };
 
+        if self.config.verify_each_generation {
+            if let Some(report) = crate::verify::invariant_breach(self.system, &best) {
+                report_breach(sink, &format!("final solution failed verification: {report}"));
+            }
+        }
+
         let counters = problem.counters_snapshot();
         let result = SynthesisResult {
             best,
@@ -523,6 +565,19 @@ impl<'a> Synthesizer<'a> {
             Ok(Err(e)) => Err(e.to_string()),
             Err(payload) => Err(panic_message(&payload)),
         }
+    }
+}
+
+/// Reports a verification-invariant breach: fatal in debug builds (so
+/// tests fail loudly), a telemetry warning in release builds (so a
+/// production run degrades instead of dying on a checker disagreement).
+fn report_breach(sink: Option<&dyn Sink>, message: &str) {
+    if cfg!(debug_assertions) {
+        panic!("{message}");
+    }
+    match sink {
+        Some(sink) => sink.record(&Event::Warning(Warning { message: message.to_owned() })),
+        None => eprintln!("warning: {message}"),
     }
 }
 

@@ -1,0 +1,77 @@
+//! Bridge to the independent `momsynth-check` oracle.
+//!
+//! The checker lives *below* this crate in the dependency graph and
+//! re-derives every constraint from the model alone; this module only
+//! adapts [`Solution`]'s parts into the checker's view and states the
+//! invariant the synthesis loop holds itself to.
+
+use momsynth_check::{check_solution, CheckReport, SolutionView};
+use momsynth_model::System;
+
+use crate::fitness::Solution;
+
+/// Verifies a finished [`Solution`] with the independent checker,
+/// returning every finding (constraint and consistency alike).
+pub fn verify_solution(system: &System, solution: &Solution) -> CheckReport {
+    check_solution(
+        system,
+        &SolutionView {
+            mapping: &solution.mapping,
+            alloc: &solution.alloc,
+            schedules: &solution.schedules,
+            voltage_schedules: &solution.voltage_schedules,
+            power: &solution.power,
+        },
+    )
+}
+
+/// The synthesis loop's invariant over any solution it prices:
+///
+/// * no internal-consistency violation, ever — the parts of a solution
+///   must agree with each other regardless of feasibility;
+/// * a solution the evaluator reports as feasible must be completely
+///   clean (an infeasible candidate may legitimately carry
+///   design-constraint findings — that is what its penalty priced).
+///
+/// Returns the offending report when the invariant is breached.
+pub fn invariant_breach(system: &System, solution: &Solution) -> Option<CheckReport> {
+    let report = verify_solution(system, solution);
+    if report.has_consistency_violations() || (solution.is_feasible() && !report.is_clean()) {
+        Some(report)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthesisConfig;
+    use crate::synthesis::Synthesizer;
+    use momsynth_gen::examples::example1_system;
+
+    #[test]
+    fn final_solutions_verify_cleanly() {
+        let system = example1_system();
+        let config = SynthesisConfig::fast_preset(3).with_dvs();
+        let result = Synthesizer::new(&system, config).run().expect("schedulable system");
+        let report = verify_solution(&system, &result.best);
+        if result.best.is_feasible() {
+            assert!(report.is_clean(), "{report}");
+        } else {
+            assert!(!report.has_consistency_violations(), "{report}");
+        }
+        assert!(invariant_breach(&system, &result.best).is_none());
+    }
+
+    #[test]
+    fn corrupted_power_breaches_the_invariant() {
+        let system = example1_system();
+        let config = SynthesisConfig::fast_preset(3);
+        let result = Synthesizer::new(&system, config).run().expect("schedulable system");
+        let mut bad = result.best.clone();
+        bad.power.average = bad.power.average * 2.0;
+        let report = invariant_breach(&system, &bad).expect("inflated p̄ must be caught");
+        assert!(report.has_consistency_violations());
+    }
+}

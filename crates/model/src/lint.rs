@@ -33,9 +33,10 @@
 
 use std::fmt;
 
-use crate::ids::{ModeId, PeId, TaskId, TaskTypeId};
+use crate::ids::{ModeId, PeId, TaskId, TaskTypeId, TransitionId};
+use crate::omsm::PROBABILITY_SUM_TOLERANCE;
 use crate::system::System;
-use crate::units::Seconds;
+use crate::units::{Cells, Seconds};
 
 /// A non-fatal specification diagnostic.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +93,26 @@ pub enum LintWarning {
         /// The affected PE.
         pe: PeId,
     },
+    /// The mode execution probabilities do not sum to 1. The builder
+    /// rejects this, but deserialised specifications bypass it — and Eq. 1
+    /// silently mis-weights every average computed from such a profile.
+    ProbabilityMassDrift {
+        /// The actual probability sum `Σ Ψ_O`.
+        sum: f64,
+    },
+    /// A transition's time limit `t_T^max` is shorter than the fastest
+    /// possible reconfiguration of even the smallest loadable core on some
+    /// FPGA — any mapping that reconfigures that PE at this transition is
+    /// doomed to violate constraint (c).
+    TransitionTimeBelowReconfigFloor {
+        /// The over-constrained transition.
+        transition: TransitionId,
+        /// The reconfigurable PE whose smallest core cannot be loaded in
+        /// time.
+        pe: PeId,
+        /// The reconfiguration time of that PE's smallest loadable core.
+        floor: Seconds,
+    },
 }
 
 impl fmt::Display for LintWarning {
@@ -125,6 +146,14 @@ impl fmt::Display for LintWarning {
             Self::DegenerateDvs { pe } => {
                 write!(f, "PE {pe} is DVS-enabled but offers a single supply level")
             }
+            Self::ProbabilityMassDrift { sum } => write!(
+                f,
+                "mode execution probabilities sum to {sum:.9} instead of 1 — Eq. 1 averages will be mis-weighted"
+            ),
+            Self::TransitionTimeBelowReconfigFloor { transition, pe, floor } => write!(
+                f,
+                "transition {transition}: t_T^max is below {floor:.6}, the time to reconfigure even the smallest loadable core of {pe}"
+            ),
         }
     }
 }
@@ -210,6 +239,40 @@ pub fn lint_system(system: &System) -> Vec<LintWarning> {
         }
     }
 
+    // Probability mass: the builder enforces Σ Ψ_O ≈ 1, but systems
+    // deserialised from JSON arrive unchecked.
+    let sum: f64 = omsm.modes().map(|(_, m)| m.probability()).sum();
+    if (sum - 1.0).abs() > PROBABILITY_SUM_TOLERANCE {
+        warnings.push(LintWarning::ProbabilityMassDrift { sum });
+    }
+
+    // Transition-time floors: on every reconfigurable PE, loading even the
+    // smallest loadable core takes `reconfig_time_per_cell · min area`; a
+    // transition limit below that makes constraint (c) unmeetable for any
+    // mapping that touches the FPGA at this transition.
+    for pe in arch.hardware_pes() {
+        let info = arch.pe(pe);
+        if !info.kind().is_reconfigurable() || info.reconfig_time_per_cell() <= Seconds::ZERO {
+            continue;
+        }
+        let floor = tech
+            .type_ids()
+            .filter_map(|ty| tech.impl_of(ty, pe))
+            .filter(|imp| imp.area() > Cells::ZERO)
+            .map(|imp| info.reconfig_time_per_cell() * imp.area().value() as f64)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite reconfiguration times"));
+        let Some(floor) = floor else { continue };
+        for (transition, t) in omsm.transitions() {
+            if t.max_time() < floor {
+                warnings.push(LintWarning::TransitionTimeBelowReconfigFloor {
+                    transition,
+                    pe,
+                    floor,
+                });
+            }
+        }
+    }
+
     warnings
 }
 
@@ -220,7 +283,7 @@ mod tests {
     use crate::omsm::OmsmBuilder;
     use crate::task_graph::{TaskGraph, TaskGraphBuilder};
     use crate::tech::{Implementation, TechLibraryBuilder};
-    use crate::units::{Cells, Volts, Watts};
+    use crate::units::{Volts, Watts};
 
     fn graph(name: &str, n: usize, period: Seconds) -> TaskGraph {
         let mut b = TaskGraphBuilder::new(name, period);
@@ -340,6 +403,77 @@ mod tests {
         let warnings = lint_system(&system);
         assert!(warnings.contains(&LintWarning::DegenerateDvs { pe: cpu }));
         assert!(warnings.contains(&LintWarning::ProbableStub { mode: a }));
+    }
+
+    #[test]
+    fn detects_probability_mass_drift_after_deserialisation() {
+        let system = clean_system();
+        // The builder guarantees Σ Ψ = 1, so force drift the way it
+        // happens in the wild: edit the serialised form and reload.
+        let json = serde_json::to_string(&system).unwrap();
+        let hacked = json.replacen("0.5", "0.75", 1);
+        assert_ne!(json, hacked, "probability field not found");
+        let drifted: System = serde_json::from_str(&hacked).unwrap();
+        let warnings = lint_system(&drifted);
+        assert!(
+            warnings
+                .iter()
+                .any(|w| matches!(w, LintWarning::ProbabilityMassDrift { sum } if (sum - 1.25).abs() < 1e-9)),
+            "{warnings:?}"
+        );
+        // Sub-tolerance drift stays silent: the builder itself accepts it.
+        assert!(!lint_system(&clean_system())
+            .iter()
+            .any(|w| matches!(w, LintWarning::ProbabilityMassDrift { .. })));
+    }
+
+    #[test]
+    fn detects_transition_limits_below_the_reconfiguration_floor() {
+        let build = |kind: PeKind, limit: Seconds| {
+            let mut tech = TechLibraryBuilder::new();
+            let t = tech.add_type("T");
+            let u = tech.add_type("U");
+            let mut arch = ArchitectureBuilder::new();
+            let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO));
+            let hw = arch.add_pe(
+                Pe::hardware("hw", kind, Cells::new(200), Watts::ZERO)
+                    .with_reconfig_time_per_cell(Seconds::new(0.01)),
+            );
+            arch.add_cl(Cl::bus("bus", vec![cpu, hw], Seconds::ZERO, Watts::ZERO, Watts::ZERO))
+                .unwrap();
+            for ty in [t, u] {
+                tech.set_impl(ty, cpu, Implementation::software(Seconds::new(0.01), Watts::ZERO));
+            }
+            // Two loadable cores: the floor is the smaller one (50 cells
+            // at 10 ms/cell = 0.5 s), not the larger.
+            tech.set_impl(t, hw, Implementation::hardware(Seconds::new(0.001), Watts::ZERO, Cells::new(80)));
+            tech.set_impl(u, hw, Implementation::hardware(Seconds::new(0.001), Watts::ZERO, Cells::new(50)));
+            let mut omsm = OmsmBuilder::new();
+            let a = omsm.add_mode("a", 0.5, graph("a", 3, Seconds::new(1.0)));
+            let b = omsm.add_mode("b", 0.5, graph("b", 3, Seconds::new(1.0)));
+            omsm.add_transition(a, b, limit).unwrap();
+            omsm.add_transition(b, a, Seconds::new(10.0)).unwrap();
+            System::new("s", omsm.build().unwrap(), arch.build().unwrap(), tech.build()).unwrap()
+        };
+
+        let tight = build(PeKind::Fpga, Seconds::new(0.1));
+        let floors: Vec<LintWarning> = lint_system(&tight)
+            .into_iter()
+            .filter(|w| matches!(w, LintWarning::TransitionTimeBelowReconfigFloor { .. }))
+            .collect();
+        assert_eq!(floors.len(), 1, "{floors:?}");
+        assert!(matches!(
+            &floors[0],
+            LintWarning::TransitionTimeBelowReconfigFloor { transition, floor, .. }
+                if transition.index() == 0 && (floor.value() - 0.5).abs() < 1e-12
+        ));
+
+        // A generous limit, or a non-reconfigurable ASIC, stays silent.
+        for system in [build(PeKind::Fpga, Seconds::new(10.0)), build(PeKind::Asic, Seconds::new(0.1))] {
+            assert!(!lint_system(&system)
+                .iter()
+                .any(|w| matches!(w, LintWarning::TransitionTimeBelowReconfigFloor { .. })));
+        }
     }
 
     #[test]

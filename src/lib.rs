@@ -24,6 +24,7 @@
 //! | [`synthesis`] | the paper's contribution: multi-mode mapping GA with improvement operators |
 //! | [`generators`] | benchmark generators: mul1–mul12 suite, smart phone, motivational examples |
 //! | [`telemetry`] | structured run events, phase timers and machine-readable run summaries |
+//! | [`check`] | independent end-to-end verification of finished synthesis results |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub use momsynth_check as check;
 pub use momsynth_core as synthesis;
 pub use momsynth_dvs as dvs;
 pub use momsynth_ga as ga;
