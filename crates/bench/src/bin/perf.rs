@@ -1,0 +1,201 @@
+//! `perf` — wall-clock benchmark of the batched/parallel fitness
+//! evaluator and the genome-keyed evaluation cache.
+//!
+//! Synthesises the smartphone, the automotive ECU and one generated
+//! `mulN` benchmark at `--threads 1` and at a parallel thread count,
+//! asserting along the way that every run returns the *identical* best
+//! solution (the parallel path is bit-deterministic) and that every
+//! persisted number passed the independent `momsynth-check` oracle.
+//! Results go to `BENCH_perf.json`: per workload and thread count the
+//! wall time, evaluation throughput, cache hit rate and speedup over the
+//! serial run.
+//!
+//! Exit codes: `0` success; `1` when a run failed verification or the
+//! parallel and serial runs disagree on the best solution; `2` when the
+//! regression gate trips (the parallel run is >10% slower than serial on
+//! a machine that actually has multiple cores — on a single-core
+//! machine the gate is reported but not enforced).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use momsynth_bench::{verified_summary, HarnessOptions};
+use momsynth_core::Synthesizer;
+use momsynth_gen::automotive::automotive_ecu;
+use momsynth_gen::smartphone::smartphone;
+use momsynth_gen::suite::mul;
+use momsynth_model::System;
+use serde::Serialize;
+
+/// Thread count the serial baseline is compared against.
+const PARALLEL_THREADS: usize = 4;
+
+/// Maximum tolerated slowdown of the parallel run, in percent.
+const MAX_SLOWDOWN_PERCENT: f64 = 10.0;
+
+#[derive(Debug, Serialize)]
+struct PerfRow {
+    threads: u64,
+    wall_time_s: f64,
+    evals_per_sec: f64,
+    cache_hit_rate: f64,
+    speedup_vs_serial: f64,
+    evaluations: u64,
+    best_power_mw: f64,
+    feasible: bool,
+    verified: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct PerfWorkload {
+    system: String,
+    dvs: bool,
+    seed: u64,
+    /// Whether every thread count produced the same best mapping and
+    /// fitness (it must — the parallel path is bit-deterministic).
+    identical_best: bool,
+    rows: Vec<PerfRow>,
+}
+
+#[derive(Debug, Serialize)]
+struct PerfReport {
+    parallel_threads: u64,
+    machine_parallelism: u64,
+    /// The gate only binds where parallelism is physically possible.
+    gate_enforced: bool,
+    max_slowdown_percent: f64,
+    /// Slowdown of the parallel runs over the serial runs, total wall
+    /// time across all workloads, in percent (negative = speedup).
+    aggregate_slowdown_percent: f64,
+    workloads: Vec<PerfWorkload>,
+}
+
+fn bench_workload(
+    system: &System,
+    dvs: bool,
+    options: &HarnessOptions,
+    all_verified: &mut bool,
+) -> PerfWorkload {
+    let seed = options.base_seed;
+    let mut rows = Vec::new();
+    let mut identical_best = true;
+    let mut serial_time = 0.0;
+    let mut serial_best: Option<(f64, f64)> = None; // (fitness, power)
+    for threads in [1, PARALLEL_THREADS] {
+        let mut cfg = options.config(seed, true, dvs);
+        cfg.threads = threads;
+        let synthesizer = Synthesizer::new(system, cfg);
+        let start = Instant::now();
+        let result = synthesizer.run().expect("schedulable system");
+        let wall = start.elapsed().as_secs_f64();
+        let verified = match verified_summary(system, &synthesizer, &result) {
+            Some(_) => true,
+            None => {
+                *all_verified = false;
+                false
+            }
+        };
+        match serial_best {
+            None => {
+                serial_time = wall;
+                serial_best = Some((result.best.fitness, result.best.power.average.as_milli()));
+            }
+            Some((fitness, _)) => {
+                if result.best.fitness != fitness {
+                    identical_best = false;
+                }
+            }
+        }
+        rows.push(PerfRow {
+            threads: threads as u64,
+            wall_time_s: wall,
+            evals_per_sec: if wall > 0.0 { result.evaluations as f64 / wall } else { 0.0 },
+            cache_hit_rate: result.counters.cache_hit_rate(),
+            speedup_vs_serial: if wall > 0.0 { serial_time / wall } else { 0.0 },
+            evaluations: result.evaluations as u64,
+            best_power_mw: result.best.power.average.as_milli(),
+            feasible: result.best.is_feasible(),
+            verified,
+        });
+    }
+    println!(
+        "{:<14} serial {:>7.2}s, {}x {:>7.2}s — speedup {:.2}x, hit rate {:.1}%{}",
+        system.name(),
+        rows[0].wall_time_s,
+        PARALLEL_THREADS,
+        rows[1].wall_time_s,
+        rows[1].speedup_vs_serial,
+        rows[1].cache_hit_rate * 100.0,
+        if identical_best { "" } else { "  BEST SOLUTIONS DIFFER" },
+    );
+    PerfWorkload {
+        system: system.name().to_owned(),
+        dvs,
+        seed,
+        identical_best,
+        rows,
+    }
+}
+
+fn main() -> ExitCode {
+    let options = HarnessOptions::from_args();
+    let machine = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let gate_enforced = machine >= 2;
+
+    // The DVS inner loop dominates the smartphone's evaluation cost, so
+    // it is the workload where batching pays off most; the automotive
+    // ECU and the generated benchmark exercise the fixed-voltage path.
+    let mut all_verified = true;
+    let workloads = vec![
+        bench_workload(&smartphone(), true, &options, &mut all_verified),
+        bench_workload(&automotive_ecu(), false, &options, &mut all_verified),
+        bench_workload(&mul(if options.quick { 9 } else { 3 }), false, &options, &mut all_verified),
+    ];
+
+    let identical = workloads.iter().all(|w| w.identical_best);
+    // Gate on the aggregate wall time: per-workload ratios are noisy for
+    // sub-10ms systems where thread startup dominates.
+    let total_serial: f64 = workloads.iter().filter_map(|w| Some(w.rows.first()?.wall_time_s)).sum();
+    let total_parallel: f64 = workloads.iter().filter_map(|w| Some(w.rows.last()?.wall_time_s)).sum();
+    let worst_slowdown =
+        if total_serial > 0.0 { (total_parallel / total_serial - 1.0) * 100.0 } else { 0.0 };
+
+    let report = PerfReport {
+        parallel_threads: PARALLEL_THREADS as u64,
+        machine_parallelism: machine as u64,
+        gate_enforced,
+        max_slowdown_percent: MAX_SLOWDOWN_PERCENT,
+        aggregate_slowdown_percent: worst_slowdown,
+        workloads,
+    };
+    let path = options
+        .out
+        .as_deref()
+        .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from)
+        .join("BENCH_perf.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+
+    if !identical {
+        eprintln!("error: parallel and serial runs returned different best solutions");
+        return ExitCode::from(1);
+    }
+    if !all_verified {
+        eprintln!("error: a run failed independent re-verification");
+        return ExitCode::from(1);
+    }
+    if gate_enforced && worst_slowdown > MAX_SLOWDOWN_PERCENT {
+        eprintln!(
+            "error: parallel run is {worst_slowdown:.1}% slower than serial \
+             (limit {MAX_SLOWDOWN_PERCENT}%)"
+        );
+        return ExitCode::from(2);
+    }
+    if !gate_enforced {
+        println!("note: single-core machine — the slowdown gate was reported, not enforced");
+    }
+    ExitCode::SUCCESS
+}

@@ -47,8 +47,9 @@ pub enum Command {
         output: String,
     },
     /// `synth <system.json> [--dvs] [--neglect-probabilities] [--seed S]
-    /// [--quick] [--max-seconds T] [--max-evals N] [--checkpoint file]
-    /// [--checkpoint-every N] [--resume file] [-o solution.json]`.
+    /// [--quick] [--threads N] [--max-seconds T] [--max-evals N]
+    /// [--checkpoint file] [--checkpoint-every N] [--resume file]
+    /// [-o solution.json]`.
     Synth {
         /// Path of the system specification.
         path: String,
@@ -60,6 +61,8 @@ pub enum Command {
         seed: u64,
         /// Use the fast preset.
         quick: bool,
+        /// Worker threads for batch fitness evaluation (0 = all cores).
+        threads: usize,
         /// Wall-clock budget in seconds.
         max_seconds: Option<f64>,
         /// Fitness-evaluation budget.
@@ -258,6 +261,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut neglect = false;
             let mut seed = 0;
             let mut quick = false;
+            let mut threads = 1;
             let mut max_seconds = None;
             let mut max_evals = None;
             let mut checkpoint = None;
@@ -279,6 +283,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         seed = take_value(args, &mut i, "--seed")?
                             .parse()
                             .map_err(|_| ParseError("invalid --seed".into()))?;
+                    }
+                    "--threads" => {
+                        threads = take_value(args, &mut i, "--threads")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --threads".into()))?;
                     }
                     "--max-seconds" => {
                         let v: f64 = take_value(args, &mut i, "--max-seconds")?
@@ -334,6 +343,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 neglect,
                 seed,
                 quick,
+                threads,
                 max_seconds,
                 max_evals,
                 checkpoint,
@@ -389,7 +399,7 @@ COMMANDS:
     convert <spec.tgff>      import a TGFF-dialect specification [-o file]
     synth <system.json>      run co-synthesis (--dvs,
                              --neglect-probabilities, --seed S, --quick,
-                             --max-seconds T, --max-evals N,
+                             --threads N, --max-seconds T, --max-evals N,
                              --checkpoint file [--checkpoint-every N],
                              --resume file,
                              -o solution.json, --vcd trace_dir,
@@ -407,6 +417,11 @@ CHECK:
     the Eq. 1 average power from the model alone (no shared code with the
     synthesis inner loop) and compares against the solution file written
     by `synth -o`. Exit code 2 when any violation is found.
+
+SYNTH PERFORMANCE:
+    --threads N evaluates each generation's candidates on N worker
+    threads (0 = all cores). The search trajectory is bit-identical for
+    every thread count; only the wall clock changes.
 
 SYNTH BUDGETS AND RESILIENCE:
     --max-seconds / --max-evals stop the search once the budget is spent
@@ -528,6 +543,7 @@ mod tests {
                 neglect: true,
                 seed: 4,
                 quick: true,
+                threads: 1,
                 max_seconds: None,
                 max_evals: None,
                 checkpoint: None,
@@ -543,6 +559,24 @@ mod tests {
         );
         assert!(parse(&argv("synth")).is_err());
         assert!(parse(&argv("synth s.json --bogus")).is_err());
+    }
+
+    #[test]
+    fn synth_threads_flag_parses() {
+        match parse(&argv("synth s.json --threads 8")).unwrap() {
+            Command::Synth { threads, .. } => assert_eq!(threads, 8),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        match parse(&argv("synth s.json --threads 0")).unwrap() {
+            Command::Synth { threads, .. } => assert_eq!(threads, 0),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        match parse(&argv("synth s.json")).unwrap() {
+            Command::Synth { threads, .. } => assert_eq!(threads, 1),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse(&argv("synth s.json --threads")).is_err());
+        assert!(parse(&argv("synth s.json --threads many")).is_err());
     }
 
     #[test]

@@ -233,6 +233,7 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             neglect,
             seed,
             quick,
+            threads,
             max_seconds,
             max_evals,
             checkpoint,
@@ -255,6 +256,7 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             if dvs {
                 config = config.with_dvs();
             }
+            config.threads = threads;
             config.ga.max_seconds = max_seconds;
             config.ga.max_evaluations = max_evals;
             let resume = match resume {

@@ -24,13 +24,16 @@ use momsynth_ga::GaSnapshot;
 use momsynth_model::System;
 use momsynth_telemetry::Counters;
 
+use crate::cache::CacheState;
 use crate::genome::{Gene, GenomeLayout};
 
 /// The checkpoint format version this build reads and writes.
 ///
 /// Version 2 added the cumulative telemetry [`Counters`], so resumed
-/// runs produce continuous traces.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// runs produce continuous traces. Version 3 added the evaluation
+/// [`CacheState`], so a resumed run replays the exact hit/miss sequence
+/// (and therefore the exact counters) of an uninterrupted one.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// A failure while saving, loading or validating a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +121,10 @@ pub struct Checkpoint {
     /// Cumulative telemetry counters at the time of capture, so a
     /// resumed run emits a trace continuous with the original.
     pub counters: Counters,
+    /// Evaluation-cache contents at the time of capture (empty when
+    /// caching is disabled), so a resumed run's hit/miss sequence is an
+    /// exact tail of the uninterrupted run's.
+    pub cache: CacheState,
 }
 
 impl Checkpoint {
@@ -128,6 +135,7 @@ impl Checkpoint {
         seed: u64,
         snapshot: &GaSnapshot<Gene>,
         counters: Counters,
+        cache: CacheState,
     ) -> Self {
         Self {
             version: CHECKPOINT_VERSION,
@@ -145,6 +153,7 @@ impl Checkpoint {
             best_cost: snapshot.best.1,
             population: snapshot.population.clone(),
             counters,
+            cache,
         }
     }
 
@@ -265,6 +274,11 @@ impl Checkpoint {
         {
             return mismatch("checkpoint operator counters have the wrong arity".to_owned());
         }
+        if self.cache.entries.iter().any(|e| e.genome.len() != self.genome_len) {
+            return mismatch(
+                "checkpoint cache contains genomes of the wrong length".to_owned(),
+            );
+        }
         Ok(())
     }
 
@@ -294,6 +308,16 @@ mod tests {
         generate(&params)
     }
 
+    fn sample_cache(len: usize) -> CacheState {
+        CacheState {
+            tick: 2,
+            entries: vec![
+                crate::cache::CacheEntry { genome: vec![0; len], cost: 4.5, tick: 0 },
+                crate::cache::CacheEntry { genome: vec![1; len], cost: 6.0, tick: 1 },
+            ],
+        }
+    }
+
     fn sample_snapshot(len: usize) -> GaSnapshot<Gene> {
         GaSnapshot {
             generation: 2,
@@ -316,7 +340,7 @@ mod tests {
     fn save_load_round_trip_preserves_everything() {
         let system = small_system();
         let layout = GenomeLayout::new(&system);
-        let cp = Checkpoint::capture(&system, &layout, 42, &sample_snapshot(layout.len()), Counters::default());
+        let cp = Checkpoint::capture(&system, &layout, 42, &sample_snapshot(layout.len()), Counters::default(), sample_cache(layout.len()));
         let path = tmp_path("round_trip.json");
         cp.save(&path).unwrap();
         let back = Checkpoint::load(&path).unwrap();
@@ -332,7 +356,7 @@ mod tests {
         let layout = GenomeLayout::new(&system);
         let mut snapshot = sample_snapshot(layout.len());
         snapshot.population[1].1 = momsynth_ga::REJECTED_COST;
-        let cp = Checkpoint::capture(&system, &layout, 0, &snapshot, Counters::default());
+        let cp = Checkpoint::capture(&system, &layout, 0, &snapshot, Counters::default(), sample_cache(layout.len()));
         let path = tmp_path("sentinel.json");
         cp.save(&path).unwrap();
         let back = Checkpoint::load(&path).unwrap();
@@ -354,7 +378,7 @@ mod tests {
 
         let system = small_system();
         let layout = GenomeLayout::new(&system);
-        let mut cp = Checkpoint::capture(&system, &layout, 0, &sample_snapshot(layout.len()), Counters::default());
+        let mut cp = Checkpoint::capture(&system, &layout, 0, &sample_snapshot(layout.len()), Counters::default(), sample_cache(layout.len()));
         cp.version = CHECKPOINT_VERSION + 1;
         let future = tmp_path("future.json");
         cp.save(&future).unwrap();
@@ -370,7 +394,7 @@ mod tests {
     fn validate_rejects_wrong_system_seed_and_shapes() {
         let system = small_system();
         let layout = GenomeLayout::new(&system);
-        let cp = Checkpoint::capture(&system, &layout, 5, &sample_snapshot(layout.len()), Counters::default());
+        let cp = Checkpoint::capture(&system, &layout, 5, &sample_snapshot(layout.len()), Counters::default(), sample_cache(layout.len()));
 
         let mut other_params = GeneratorParams::new("other", 4);
         other_params.modes = 3;
@@ -393,6 +417,9 @@ mod tests {
         assert!(broken.validate(&system, &layout, 5).is_err());
         let mut broken = cp.clone();
         broken.history.pop();
+        assert!(broken.validate(&system, &layout, 5).is_err());
+        let mut broken = cp.clone();
+        broken.cache.entries[0].genome.pop();
         assert!(broken.validate(&system, &layout, 5).is_err());
 
         cp.validate(&system, &layout, 5).unwrap();

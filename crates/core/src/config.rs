@@ -160,6 +160,14 @@ pub struct SynthesisConfig {
     /// `Warning` event in release builds. Defaults to `true` under
     /// `debug_assertions` (tests), `false` in release builds.
     pub verify_each_generation: bool,
+    /// Worker threads for batch fitness evaluation: `1` (the default)
+    /// evaluates serially, `0` uses every available core. The evolution
+    /// trajectory is bit-identical at any thread count.
+    pub threads: usize,
+    /// Bound of the genome-keyed evaluation cache (entries across all
+    /// shards); `0` disables caching. Sound because the fitness is a
+    /// pure function of the genome.
+    pub cache_capacity: usize,
 }
 
 impl SynthesisConfig {
@@ -176,6 +184,19 @@ impl SynthesisConfig {
             local_search: LocalSearchOptions::default(),
             fault_injection: None,
             verify_each_generation: cfg!(debug_assertions),
+            threads: 1,
+            cache_capacity: 4096,
+        }
+    }
+
+    /// The worker-thread count [`SynthesisConfig::threads`] resolves to:
+    /// itself when non-zero, otherwise the machine's available
+    /// parallelism (at least 1).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
         }
     }
 
@@ -222,6 +243,18 @@ mod tests {
         assert!(cfg.dvs.is_none());
         assert!(cfg.improvement_operators);
         assert!(cfg.weights.timing > 0.0);
+        assert_eq!(cfg.threads, 1, "parallelism is opt-in");
+        assert!(cfg.cache_capacity > 0, "caching defaults on");
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_to_the_machine() {
+        let mut cfg = SynthesisConfig::default();
+        assert_eq!(cfg.effective_threads(), 1);
+        cfg.threads = 3;
+        assert_eq!(cfg.effective_threads(), 3);
+        cfg.threads = 0;
+        assert!(cfg.effective_threads() >= 1);
     }
 
     #[test]

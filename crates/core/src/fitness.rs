@@ -17,14 +17,16 @@
 //! limits. The reported [`Solution::power`] always uses the true
 //! probabilities.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
-use momsynth_dvs::{scale_mode, DvsOptions, VoltageSchedule};
+use momsynth_dvs::{scale_mode_with, DvsOptions, DvsScratch, VoltageSchedule};
 use momsynth_model::ids::PeId;
 use momsynth_model::units::{Cells, Seconds, Watts};
 use momsynth_model::System;
 use momsynth_power::{power_report_with, ModeImplementation, PowerReport};
-use momsynth_sched::{schedule_mode, CoreAllocation, SchedError, Schedule, SystemMapping};
+use momsynth_sched::{
+    schedule_mode_with, CoreAllocation, ListScratch, SchedError, Schedule, SystemMapping,
+};
 use momsynth_telemetry::{Phase, PhaseAccumulator, PhaseTiming};
 
 use crate::alloc::derive_allocation;
@@ -140,7 +142,21 @@ impl Solution {
     }
 }
 
+/// Reusable working memory for one evaluator: the list scheduler's and
+/// PV-DVS's per-call buffers. One evaluation allocates these once and
+/// every later evaluation on the same [`Evaluator`] reuses them, which
+/// removes the dominant allocation churn from the GA's hot loop.
+#[derive(Debug, Default)]
+struct EvalScratch {
+    sched: ListScratch,
+    dvs: DvsScratch,
+}
+
 /// Evaluates mapping candidates for one system under one configuration.
+///
+/// Not `Sync` (scratch buffers, counters and timers use interior
+/// mutability): parallel batch evaluation gives each worker thread its
+/// own evaluator and folds the counters back together afterwards.
 #[derive(Debug)]
 pub struct Evaluator<'a> {
     system: &'a System,
@@ -152,6 +168,9 @@ pub struct Evaluator<'a> {
     phases: PhaseAccumulator,
     /// Total PV-DVS inner-loop iterations across all evaluations.
     dvs_iterations: Cell<u64>,
+    /// Scratch buffers reused across evaluations (`RefCell` because
+    /// [`Evaluator::evaluate`] takes `&self`; evaluation never re-enters).
+    scratch: RefCell<EvalScratch>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -169,6 +188,7 @@ impl<'a> Evaluator<'a> {
             weights,
             phases: PhaseAccumulator::disabled(),
             dvs_iterations: Cell::new(0),
+            scratch: RefCell::new(EvalScratch::default()),
         }
     }
 
@@ -183,15 +203,33 @@ impl<'a> Evaluator<'a> {
         self.phases.enable();
     }
 
+    /// Whether per-phase wall-clock measurement is on — mirrored onto
+    /// per-worker evaluators so a parallel batch measures exactly the
+    /// phases a serial run would.
+    pub fn phase_timing_enabled(&self) -> bool {
+        self.phases.enabled()
+    }
+
     /// Accumulated per-phase timings (empty while timing is disabled).
     pub fn phase_timings(&self) -> Vec<PhaseTiming> {
         self.phases.timings()
+    }
+
+    /// Folds a worker evaluator's phase timings into this one after a
+    /// parallel batch. No-op while timing is disabled.
+    pub fn absorb_phase_timings(&self, timings: &[PhaseTiming]) {
+        self.phases.absorb(timings);
     }
 
     /// Total PV-DVS inner-loop iterations performed so far. Counted
     /// deterministically — independent of whether phase timing is on.
     pub fn dvs_iterations(&self) -> u64 {
         self.dvs_iterations.get()
+    }
+
+    /// Adds a worker evaluator's PV-DVS iteration count to this one.
+    pub fn add_dvs_iterations(&self, n: u64) {
+        self.dvs_iterations.set(self.dvs_iterations.get() + n);
     }
 
     /// Fully evaluates a mapping. `dvs` selects the voltage-scaling
@@ -217,6 +255,8 @@ impl<'a> Evaluator<'a> {
         dvs: Option<&DvsOptions>,
     ) -> Result<Solution, SchedError> {
         let system = self.system;
+        // One borrow for the whole evaluation; never re-entered.
+        let scratch = &mut *self.scratch.borrow_mut();
         let alloc = self
             .phases
             .measure(Phase::CoreAllocation, || derive_allocation(system, &mapping, &self.config.alloc));
@@ -225,14 +265,16 @@ impl<'a> Evaluator<'a> {
         let mut voltage_schedules = Vec::with_capacity(system.omsm().mode_count());
         let mut factors: Vec<Vec<f64>> = Vec::with_capacity(system.omsm().mode_count());
         for (mode, m) in system.omsm().modes() {
+            let sched_scratch = &mut scratch.sched;
             let schedule = self.phases.measure(Phase::ListScheduling, || {
-                schedule_mode(system, mode, &mapping, &alloc, self.config.scheduler)
+                schedule_mode_with(system, mode, &mapping, &alloc, self.config.scheduler, sched_scratch)
             })?;
             match dvs {
                 Some(options) => {
-                    let scaled = self
-                        .phases
-                        .measure(Phase::VoltageScaling, || scale_mode(system, &schedule, options));
+                    let dvs_scratch = &mut scratch.dvs;
+                    let scaled = self.phases.measure(Phase::VoltageScaling, || {
+                        scale_mode_with(system, &schedule, options, dvs_scratch)
+                    });
                     self.dvs_iterations
                         .set(self.dvs_iterations.get() + scaled.iterations() as u64);
                     factors.push(scaled.energy_factors().to_vec());
@@ -504,6 +546,25 @@ mod tests {
             .evaluate(SystemMapping::from_fn(&tight, |_| PeId::new(0)), None)
             .unwrap();
         assert!(sol.describe(&tight).contains("INFEASIBLE"));
+    }
+
+    #[test]
+    fn scratch_reuse_across_evaluations_is_transparent() {
+        // One evaluator reused over alternating mappings must price each
+        // exactly like a fresh evaluator: the scratch buffers carry no
+        // state between evaluations.
+        let system = sys(600, 100.0);
+        let config = SynthesisConfig::new(0).with_dvs();
+        let shared = Evaluator::new(&system, &config);
+        let mut hw = all_cpu(&system);
+        hw.set(ModeId::new(1), TaskId::new(0), PeId::new(1));
+        hw.set(ModeId::new(1), TaskId::new(1), PeId::new(1));
+        for mapping in [all_cpu(&system), hw.clone(), all_cpu(&system), hw] {
+            let fresh = Evaluator::new(&system, &config);
+            let reused = shared.evaluate(mapping.clone(), Some(&DvsOptions::fine())).unwrap();
+            let pristine = fresh.evaluate(mapping, Some(&DvsOptions::fine())).unwrap();
+            assert_eq!(reused, pristine);
+        }
     }
 
     #[test]

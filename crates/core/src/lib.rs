@@ -42,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod alloc;
+pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod fitness;
@@ -53,6 +54,7 @@ pub mod transition;
 pub mod verify;
 
 pub use alloc::{derive_allocation, AllocOptions};
+pub use cache::{CacheEntry, CacheState, EvalCache};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use config::{
     DvsSynthesisOptions, FaultInjection, InjectedFault, PenaltyWeights, SynthesisConfig,

@@ -26,6 +26,8 @@
 //!   back to the all-software seed mapping; only when that fails too does
 //!   it return [`SynthesisError::Unschedulable`].
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -39,6 +41,7 @@ use momsynth_telemetry::{
     CounterSet, Counters, Event, ModeSummary, PhaseTiming, RunStart, RunSummary, Sink, Warning,
 };
 
+use crate::cache::{CacheState, EvalCache};
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::{InjectedFault, SynthesisConfig};
 use crate::fitness::{Evaluator, Solution};
@@ -107,6 +110,8 @@ impl SynthesisResult {
             rejected: self.rejected as u64,
             wall_time_s: wall,
             evals_per_sec: if wall > 0.0 { self.evaluations as f64 / wall } else { 0.0 },
+            threads: config.effective_threads() as u64,
+            cache_hit_rate: self.counters.cache_hit_rate(),
             counters: self.counters.clone(),
             phases: self.phase_timings.clone(),
         }
@@ -201,13 +206,29 @@ struct MappingProblem<'a> {
     /// [`GaProblem::cost`] takes `&self`). [`CounterSet::rejected`]
     /// doubles as the rejected-evaluation count of the run.
     counters: CounterSet,
+    /// Genome-keyed cost memo (`None` when `cache_capacity` is 0). Only
+    /// the driver thread touches it: batches probe it serially before,
+    /// and fill it serially after, the parallel pricing stage, so its
+    /// contents are independent of the thread count.
+    cache: Option<RefCell<EvalCache>>,
+    /// Resolved worker-thread count for batch pricing.
+    threads: usize,
 }
 
-impl MappingProblem<'_> {
-    /// Prices one genome, injecting configured faults. `None` means the
-    /// evaluation failed cleanly (scheduling error); a panic unwinds.
-    fn evaluate_cost(&self, genome: &[Gene]) -> Option<f64> {
-        if let Some(fault) = &self.config.fault_injection {
+/// Prices one genome with full fault isolation: injected faults, panics,
+/// scheduling errors and non-finite fitness all reject the candidate
+/// with [`REJECTED_COST`]. A free function (rather than a method) so
+/// parallel workers can run it against their own evaluator and counter
+/// set without sharing the `!Sync` [`MappingProblem`].
+fn price_genome(
+    layout: &GenomeLayout,
+    config: &SynthesisConfig,
+    evaluator: &Evaluator<'_>,
+    counters: &CounterSet,
+    genome: &[Gene],
+) -> f64 {
+    let attempt = || -> Option<f64> {
+        if let Some(fault) = &config.fault_injection {
             match fault.roll(genome) {
                 Some(InjectedFault::Panic) => panic!("injected evaluator panic"),
                 Some(InjectedFault::Nan) => return Some(f64::NAN),
@@ -215,24 +236,38 @@ impl MappingProblem<'_> {
                 None => {}
             }
         }
-        let mapping = self.layout.decode(genome);
-        let dvs = self.config.dvs.as_ref().map(|d| d.eval);
-        self.evaluator.evaluate(mapping, dvs.as_ref()).ok().map(|s| {
-            self.counters.note_violations(
+        let mapping = layout.decode(genome);
+        let dvs = config.dvs.as_ref().map(|d| d.eval);
+        evaluator.evaluate(mapping, dvs.as_ref()).ok().map(|s| {
+            counters.note_violations(
                 s.total_lateness.value() > 1e-12,
                 !s.area_overruns.is_empty(),
                 s.transitions.iter().any(|t| !t.is_feasible()),
             );
             s.fitness
         })
+    };
+    match catch_unwind(AssertUnwindSafe(attempt)) {
+        Ok(Some(fitness)) if fitness.is_finite() => fitness,
+        _ => {
+            counters.add_rejected();
+            REJECTED_COST
+        }
     }
+}
 
+impl MappingProblem<'_> {
     /// Current counters, merged with the evaluator's deterministic DVS
     /// iteration count. Captured into checkpoints and generation events.
     fn counters_snapshot(&self) -> Counters {
         let mut counters = self.counters.snapshot();
         counters.dvs_iterations += self.evaluator.dvs_iterations();
         counters
+    }
+
+    /// The evaluation cache's current contents, for checkpointing.
+    fn cache_state(&self) -> CacheState {
+        self.cache.as_ref().map(|c| c.borrow().state()).unwrap_or_default()
     }
 }
 
@@ -249,15 +284,107 @@ impl GaProblem for MappingProblem<'_> {
 
     /// Panic-isolated cost: errors, panics and non-finite fitness all
     /// reject the individual with [`REJECTED_COST`] instead of taking the
-    /// whole run down.
+    /// whole run down. Bypasses the cache — the batched path is the hot
+    /// one, and keeping single pricing memo-free keeps it trivially
+    /// comparable in tests.
     fn cost(&self, genome: &[Gene]) -> f64 {
-        match catch_unwind(AssertUnwindSafe(|| self.evaluate_cost(genome))) {
-            Ok(Some(fitness)) if fitness.is_finite() => fitness,
-            _ => {
-                self.counters.add_rejected();
-                REJECTED_COST
+        price_genome(self.layout, self.config, self.evaluator, &self.counters, genome)
+    }
+
+    /// Batched pricing: the GA hands over each generation's unevaluated
+    /// genomes at once. The batch is served in four strictly ordered
+    /// stages — (1) serial cache probe in batch order, (2) dedup of
+    /// identical genomes among the misses, (3) pricing of the unique
+    /// misses, parallel across `threads` workers, (4) serial cache fill
+    /// in batch order. Fitness is a pure function of the genome, so
+    /// stage 3's scheduling cannot influence any returned cost, and
+    /// stages 1, 2 and 4 never depend on the thread count: trajectories,
+    /// counters and cache contents are bit-identical for any `threads`.
+    fn cost_batch(&self, genomes: &[Vec<Gene>]) -> Vec<f64> {
+        let mut costs = vec![REJECTED_COST; genomes.len()];
+        // Stage 1: probe the cache, serially, in batch order.
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, genome) in genomes.iter().enumerate() {
+            let hit = self.cache.as_ref().and_then(|c| c.borrow_mut().get(genome));
+            match hit {
+                Some(cost) => {
+                    costs[i] = cost;
+                    self.counters.add_cache_hits(1);
+                }
+                None => {
+                    self.counters.add_cache_misses(1);
+                    misses.push(i);
+                }
             }
         }
+        // Stage 2: identical genomes within the batch are priced once;
+        // `slot_of[k]` maps the k-th miss to its unique-genome slot.
+        let mut unique: Vec<usize> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(misses.len());
+        let mut first: HashMap<&[Gene], usize> = HashMap::new();
+        for &i in &misses {
+            let next = unique.len();
+            let slot = *first.entry(genomes[i].as_slice()).or_insert(next);
+            if slot == next {
+                unique.push(i);
+            }
+            slot_of.push(slot);
+        }
+        self.counters.add_evaluated(unique.len() as u64);
+        // Stage 3: price the unique misses. Workers get their own
+        // evaluator and counter set; the folds below are commutative
+        // sums, so totals are independent of worker scheduling.
+        let mut unique_costs = vec![REJECTED_COST; unique.len()];
+        if self.threads <= 1 || unique.len() <= 1 {
+            for (slot, &i) in unique.iter().enumerate() {
+                unique_costs[slot] =
+                    price_genome(self.layout, self.config, self.evaluator, &self.counters, &genomes[i]);
+            }
+        } else {
+            let workers = self.threads.min(unique.len());
+            let chunk = unique.len().div_ceil(workers);
+            let (layout, system, config) = (self.layout, self.system, self.config);
+            let trace = self.evaluator.phase_timing_enabled();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = unique
+                    .chunks(chunk)
+                    .zip(unique_costs.chunks_mut(chunk))
+                    .map(|(ids, out)| {
+                        scope.spawn(move || {
+                            let mut evaluator = Evaluator::new(system, config);
+                            if trace {
+                                evaluator.enable_phase_timing();
+                            }
+                            let counters = CounterSet::new();
+                            for (&i, slot) in ids.iter().zip(out.iter_mut()) {
+                                *slot =
+                                    price_genome(layout, config, &evaluator, &counters, &genomes[i]);
+                            }
+                            (counters.snapshot(), evaluator.dvs_iterations(), evaluator.phase_timings())
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    let (counters, dvs, timings) =
+                        handle.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                    self.counters.merge(&counters);
+                    self.evaluator.add_dvs_iterations(dvs);
+                    self.evaluator.absorb_phase_timings(&timings);
+                }
+            });
+        }
+        // Stage 4: scatter the results and fill the cache, serially, in
+        // batch order.
+        for (&i, &slot) in misses.iter().zip(&slot_of) {
+            costs[i] = unique_costs[slot];
+        }
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.borrow_mut();
+            for &i in &misses {
+                cache.insert(&genomes[i], costs[i]);
+            }
+        }
+        costs
     }
 
     fn improve(&self, genome: &mut [Gene], rng: &mut dyn RngCore) {
@@ -354,14 +481,22 @@ impl<'a> Synthesizer<'a> {
             system: self.system,
             config: &self.config,
             counters: CounterSet::new(),
+            cache: (self.config.cache_capacity > 0)
+                .then(|| RefCell::new(EvalCache::new(self.config.cache_capacity))),
+            threads: self.config.effective_threads(),
         };
 
         let resume = match control.resume {
             Some(checkpoint) => {
                 checkpoint.validate(self.system, &layout, ga_config.seed)?;
-                // Restore the cumulative counters so the resumed trace
-                // continues exactly where the original left off.
+                // Restore the cumulative counters and the evaluation
+                // cache so the resumed trace — including the hit/miss
+                // sequence — continues exactly where the original left
+                // off.
                 problem.counters.restore(&checkpoint.counters);
+                if let Some(cache) = &problem.cache {
+                    cache.borrow_mut().restore(&checkpoint.cache);
+                }
                 Some(checkpoint.into_snapshot())
             }
             None => None,
@@ -405,6 +540,7 @@ impl<'a> Synthesizer<'a> {
                             seed,
                             snapshot,
                             problem_ref.counters_snapshot(),
+                            problem_ref.cache_state(),
                         );
                         if let Err(e) = cp.save(path) {
                             // Checkpointing is best-effort: losing a
@@ -766,6 +902,37 @@ mod tests {
     }
 
     #[test]
+    fn cache_and_threads_leave_the_trajectory_bit_identical() {
+        let system = skewed_system();
+        let base = SynthesisConfig::fast_preset(7);
+        let run = |threads: usize, cache_capacity: usize| {
+            let mut cfg = base.clone();
+            cfg.threads = threads;
+            cfg.cache_capacity = cache_capacity;
+            Synthesizer::new(&system, cfg).run().unwrap()
+        };
+        let plain = run(1, 0);
+        let cached = run(1, 4096);
+        let threaded = run(4, 4096);
+        for other in [&cached, &threaded] {
+            assert_eq!(plain.history, other.history);
+            assert_eq!(plain.best.mapping, other.best.mapping);
+            assert_eq!(plain.best.fitness, other.best.fitness);
+            assert_eq!(plain.evaluations, other.evaluations);
+            assert_eq!(plain.stop_reason, other.stop_reason);
+        }
+        // The GA revisits genomes, so the memo must actually serve hits,
+        // and the hit/miss/evaluated split must not depend on threads.
+        assert!(cached.counters.cache_hits > 0, "{:?}", cached.counters);
+        assert_eq!(cached.counters, threaded.counters);
+        assert!(cached.counters.evaluated <= cached.counters.cache_misses);
+        // Without a cache nothing is looked up, but pricing still counts.
+        assert_eq!(plain.counters.cache_hits, 0);
+        assert!(plain.counters.evaluated > 0);
+        assert!(cached.summary(&system, &base).cache_hit_rate > 0.0);
+    }
+
+    #[test]
     fn dvs_synthesis_reduces_power_further() {
         let mut tech = TechLibraryBuilder::new();
         let ta = tech.add_type("A");
@@ -875,7 +1042,14 @@ mod tests {
             population: vec![(vec![0; layout.len()], 1.0)],
         };
         // Captured with a different seed than the run uses.
-        let checkpoint = Checkpoint::capture(&system, &layout, 999, &snapshot, Counters::default());
+        let checkpoint = Checkpoint::capture(
+            &system,
+            &layout,
+            999,
+            &snapshot,
+            Counters::default(),
+            crate::cache::CacheState::default(),
+        );
         let err = Synthesizer::new(&system, cfg)
             .run_controlled(SynthControl { resume: Some(checkpoint), ..SynthControl::default() })
             .expect_err("seed mismatch must be rejected");

@@ -173,6 +173,20 @@ struct Unit {
     scale: Option<ScaleInfo>,
 }
 
+/// Reusable buffers for [`scale_mode_with`]: the greedy slack
+/// distribution recomputes earliest/latest finish times (`es`/`ef`/`lf`
+/// slot vectors) on every iteration, so hoisting them out of the loop and
+/// across calls removes the scaler's dominant allocation churn. Buffers
+/// are cleared on entry; reuse can never leak state between calls.
+#[derive(Debug, Default)]
+pub struct DvsScratch {
+    es: Vec<Seconds>,
+    ef: Vec<Seconds>,
+    lf: Vec<Seconds>,
+    task_unit: Vec<usize>,
+    comm_unit: Vec<Option<usize>>,
+}
+
 /// Applies PV-DVS to one mode's schedule.
 ///
 /// Tasks on DVS-enabled software PEs are scaled individually; tasks on
@@ -182,8 +196,22 @@ struct Unit {
 /// timing. The scaler never violates task deadlines or the mode's
 /// hyper-period; on a schedule that already misses deadlines it simply
 /// finds no slack and returns nominal timing.
+///
+/// Allocates fresh working buffers per call; the synthesis hot loop uses
+/// [`scale_mode_with`] with a reusable [`DvsScratch`] instead.
 pub fn scale_mode(system: &System, schedule: &Schedule, options: &DvsOptions) -> ScaledMode {
-    scale_mode_inner(system, schedule, options, options.scale_hw)
+    scale_mode_with(system, schedule, options, &mut DvsScratch::default())
+}
+
+/// [`scale_mode`] with caller-provided scratch buffers; produces the
+/// identical scaling.
+pub fn scale_mode_with(
+    system: &System,
+    schedule: &Schedule,
+    options: &DvsOptions,
+    scratch: &mut DvsScratch,
+) -> ScaledMode {
+    scale_mode_inner(system, schedule, options, options.scale_hw, scratch)
 }
 
 fn scale_mode_inner(
@@ -191,6 +219,7 @@ fn scale_mode_inner(
     schedule: &Schedule,
     options: &DvsOptions,
     allow_groups: bool,
+    scratch: &mut DvsScratch,
 ) -> ScaledMode {
     let graph = system.omsm().mode(schedule.mode()).graph();
     let period = graph.period();
@@ -198,8 +227,12 @@ fn scale_mode_inner(
 
     // ---- Build units -----------------------------------------------------
     let mut units: Vec<Unit> = Vec::new();
-    let mut task_unit = vec![usize::MAX; n];
-    let mut comm_unit: Vec<Option<usize>> = vec![None; graph.comm_count()];
+    let task_unit = &mut scratch.task_unit;
+    task_unit.clear();
+    task_unit.resize(n, usize::MAX);
+    let comm_unit = &mut scratch.comm_unit;
+    comm_unit.clear();
+    comm_unit.resize(graph.comm_count(), None);
 
     if allow_groups {
         for pe in system.arch().dvs_pes().collect::<Vec<_>>() {
@@ -313,8 +346,8 @@ fn scale_mode_inner(
     }
     for (_, acts) in schedule.sequences() {
         for pair in acts.windows(2) {
-            let ua = activity_unit(pair[0], &task_unit, &comm_unit);
-            let ub = activity_unit(pair[1], &task_unit, &comm_unit);
+            let ua = activity_unit(pair[0], task_unit, comm_unit);
+            let ub = activity_unit(pair[1], task_unit, comm_unit);
             if ua != ub {
                 edges.insert((ua, ub));
             }
@@ -327,7 +360,7 @@ fn scale_mode_inner(
         Some(order) => order,
         None => {
             debug_assert!(allow_groups, "group-free unit graph must be acyclic");
-            return scale_mode_inner(system, schedule, options, false);
+            return scale_mode_inner(system, schedule, options, false, scratch);
         }
     };
     let succs: Vec<Vec<usize>> = {
@@ -345,24 +378,27 @@ fn scale_mode_inner(
         p
     };
 
-    let forward = |units: &[Unit]| -> (Vec<Seconds>, Vec<Seconds>) {
-        let mut es = vec![Seconds::ZERO; units.len()];
-        let mut ef = vec![Seconds::ZERO; units.len()];
+    // The slot vectors are refilled from scratch buffers on every greedy
+    // iteration instead of being reallocated.
+    let forward = |units: &[Unit], es: &mut Vec<Seconds>, ef: &mut Vec<Seconds>| {
+        es.clear();
+        es.resize(units.len(), Seconds::ZERO);
+        ef.clear();
+        ef.resize(units.len(), Seconds::ZERO);
         for &u in &topo {
             let start = preds[u].iter().map(|&p| ef[p]).fold(Seconds::ZERO, Seconds::max);
             es[u] = start;
             ef[u] = start + units[u].dur;
         }
-        (es, ef)
     };
-    let backward = |units: &[Unit]| -> Vec<Seconds> {
-        let mut lf: Vec<Seconds> = units.iter().map(|u| u.deadline).collect();
+    let backward = |units: &[Unit], lf: &mut Vec<Seconds>| {
+        lf.clear();
+        lf.extend(units.iter().map(|u| u.deadline));
         for &u in topo.iter().rev() {
             for &s in &succs[u] {
                 lf[u] = lf[u].min(lf[s] - units[s].dur);
             }
         }
-        lf
     };
 
     // ---- Greedy slack distribution ---------------------------------------
@@ -370,8 +406,10 @@ fn scale_mode_inner(
     let eps = period * 1e-9;
     let mut iterations = 0usize;
     while iterations < options.max_iterations {
-        let (_, ef) = forward(&units);
-        let lf = backward(&units);
+        forward(&units, &mut scratch.es, &mut scratch.ef);
+        backward(&units, &mut scratch.lf);
+        let ef = &scratch.ef;
+        let lf = &scratch.lf;
         let mut best: Option<(usize, Seconds, f64)> = None;
         for (u, unit) in units.iter().enumerate() {
             let Some(scale) = &unit.scale else { continue };
@@ -418,7 +456,8 @@ fn scale_mode_inner(
         let vs = VoltageSchedule::fit(&scale.cap, &scale.model, unit.nominal, unit.dur);
         unit.dur = vs.total_time();
     }
-    let (es, _) = forward(&units);
+    forward(&units, &mut scratch.es, &mut scratch.ef);
+    let es = &scratch.es;
 
     for (u, unit) in units.iter().enumerate() {
         match &unit.payload {
@@ -587,6 +626,22 @@ mod tests {
         assert!(scaled.schedule().is_timing_feasible(graph));
         // And actually uses most of it.
         assert!(scaled.schedule().makespan().as_millis() > 60.0);
+    }
+
+    #[test]
+    fn reused_scratch_produces_identical_scaling() {
+        let mut scratch = DvsScratch::default();
+        // Alternate between a DVS and a non-DVS system so every scratch
+        // buffer is refilled with different shapes; each result must
+        // match a fresh-buffer run.
+        for dvs in [true, false, true] {
+            let sys = sw_system(dvs);
+            let schedule = schedule_of(&sys);
+            let reused =
+                scale_mode_with(&sys, &schedule, &DvsOptions::default(), &mut scratch);
+            let fresh = scale_mode(&sys, &schedule, &DvsOptions::default());
+            assert_eq!(reused, fresh);
+        }
     }
 
     #[test]

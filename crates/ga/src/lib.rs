@@ -28,6 +28,17 @@
 //! Non-finite costs returned by a problem (NaN, ±∞) are clamped to
 //! [`REJECTED_COST`] so they can never win the cost-sorted ranking.
 //!
+//! # Batch evaluation
+//!
+//! Each generation's unevaluated genomes are priced through a single
+//! [`GaProblem::cost_batch`] call and the results written back by index.
+//! The default implementation maps [`GaProblem::cost`] serially;
+//! overriding it lets a problem evaluate the batch on worker threads or
+//! serve repeats from a cache, with a bit-identical trajectory for a
+//! fixed seed because the engine's randomness never depends on how a
+//! batch was priced. Elites keep their known cost and are never
+//! re-evaluated.
+//!
 //! # Examples
 //!
 //! ```
@@ -87,6 +98,21 @@ pub trait GaProblem {
     /// through penalty terms, not through rejection. Non-finite values are
     /// clamped to [`REJECTED_COST`] by the engine.
     fn cost(&self, genome: &[Self::Gene]) -> f64;
+
+    /// Prices a batch of genomes, returning exactly one cost per genome,
+    /// index-aligned with the input. The default maps [`GaProblem::cost`]
+    /// serially, in order.
+    ///
+    /// The engine routes every unevaluated genome of a generation through
+    /// this method in one call and writes the results back by index, so an
+    /// implementation is free to evaluate out of order — in parallel
+    /// worker threads, through a memoisation cache — without perturbing
+    /// the evolution trajectory: for a fixed seed the outcome is
+    /// bit-identical at any thread count as long as each returned cost is
+    /// a pure function of its genome.
+    fn cost_batch(&self, genomes: &[Vec<Self::Gene>]) -> Vec<f64> {
+        genomes.iter().map(|g| self.cost(g)).collect()
+    }
 
     /// Problem-specific improvement operator, applied to a few individuals
     /// per generation. The default does nothing.
@@ -160,7 +186,8 @@ pub struct GaConfig {
     pub diversity_epsilon: f64,
     /// Optional wall-clock budget in seconds, measured from the start of
     /// this call (a resumed run gets a fresh timer). Checked between
-    /// offspring, so the engine overruns by at most one evaluation.
+    /// offspring while a generation is produced, so the engine overruns
+    /// by at most one evaluation batch (one generation's offspring).
     pub max_seconds: Option<f64>,
     /// Optional cap on cost evaluations (cumulative across resume: the
     /// snapshot's evaluation count carries over). At least one individual
@@ -351,11 +378,13 @@ pub fn run<P: GaProblem>(problem: &P, config: &GaConfig) -> GaOutcome<P::Gene> {
 
 /// Like [`run`], with cooperative cancellation, resume and a snapshot hook.
 ///
-/// The engine checks the budgets and the stop flag between offspring, so a
-/// raised flag or an expired budget costs at most one extra evaluation
-/// before the best-so-far is returned. Resuming from a [`GaSnapshot`] of
-/// generation `g` replays generations `g+1..` with the same randomness an
-/// uninterrupted run would have used, so the final best is identical.
+/// The engine checks the budgets and the stop flag between offspring while
+/// a generation is generated; a raised flag or an expired budget discards
+/// the partial generation unpriced, so cancellation costs at most one
+/// batch evaluation before the best-so-far is returned. Resuming from a
+/// [`GaSnapshot`] of generation `g` replays generations `g+1..` with the
+/// same randomness an uninterrupted run would have used, so the final best
+/// is identical.
 ///
 /// # Panics
 ///
@@ -446,10 +475,14 @@ pub fn run_controlled<P: GaProblem>(
         evaluations = snapshot.evaluations;
     } else {
         let mut rng = StdRng::seed_from_u64(generation_seed(config.seed, 0));
-        population = Vec::with_capacity(config.population_size);
+        // The initial population is generated first — budget checks and
+        // evaluation accounting exactly as if each genome were priced on
+        // the spot — then priced as one batch, so a parallel or caching
+        // `cost_batch` sees the whole population at once.
+        let mut genomes: Vec<Vec<P::Gene>> = Vec::with_capacity(config.population_size);
         for genome in problem.seeds().into_iter().take(config.population_size) {
             assert_eq!(genome.len(), len, "seed genome has wrong length");
-            if interrupted.is_none() && !population.is_empty() {
+            if interrupted.is_none() && !genomes.is_empty() {
                 if stop_requested(control.stop) {
                     interrupted = Some(StopReason::Cancelled);
                 } else if out_of_time(&start) {
@@ -462,11 +495,10 @@ pub fn run_controlled<P: GaProblem>(
                 break;
             }
             evaluations += 1;
-            let cost = sanitize_cost(problem.cost(&genome));
-            population.push(Individual { genome, cost });
+            genomes.push(genome);
         }
-        while interrupted.is_none() && population.len() < config.population_size {
-            if !population.is_empty() {
+        while interrupted.is_none() && genomes.len() < config.population_size {
+            if !genomes.is_empty() {
                 if stop_requested(control.stop) {
                     interrupted = Some(StopReason::Cancelled);
                     break;
@@ -481,9 +513,9 @@ pub fn run_controlled<P: GaProblem>(
             let genome: Vec<P::Gene> =
                 (0..len).map(|l| problem.random_gene(l, &mut rng)).collect();
             evaluations += 1;
-            let cost = sanitize_cost(problem.cost(&genome));
-            population.push(Individual { genome, cost });
+            genomes.push(genome);
         }
+        population = evaluate_batch(problem, genomes);
         population.sort_by(|a, b| a.cost.total_cmp(&b.cost));
 
         best = population[0].clone();
@@ -552,7 +584,13 @@ pub fn run_controlled<P: GaProblem>(
         for elite in population.iter().take(config.elitism.min(population.len())) {
             next.push(elite.clone());
         }
-        while next.len() < config.population_size {
+        // Offspring are generated first — consuming this generation's RNG
+        // and checking budgets exactly as the serial engine did — and
+        // priced as one batch afterwards. Elites keep their known cost
+        // and are never re-priced.
+        let mut pending: Vec<Vec<P::Gene>> =
+            Vec::with_capacity(config.population_size.saturating_sub(next.len()));
+        while next.len() + pending.len() < config.population_size {
             if stop_requested(control.stop) {
                 interrupted = Some(StopReason::Cancelled);
                 break;
@@ -582,17 +620,19 @@ pub fn run_controlled<P: GaProblem>(
                 problem.improve(&mut child, &mut rng);
             }
             evaluations += 1;
-            let cost = sanitize_cost(problem.cost(&child));
-            next.push(Individual { genome: child, cost });
+            pending.push(child);
         }
         if let Some(reason) = interrupted {
             // The generation was cut short: discard the partial offspring
-            // (the current population and best-so-far remain valid) and
-            // report the interruption. A later resume replays this
-            // generation in full from the last snapshot.
+            // without pricing them (they are already counted against the
+            // evaluation budget, exactly like the serial engine; their
+            // costs would be thrown away with them). The current
+            // population and best-so-far remain valid. A later resume
+            // replays this generation in full from the last snapshot.
             generations -= 1;
             break reason;
         }
+        next.extend(evaluate_batch(problem, pending));
         next.sort_by(|a, b| a.cost.total_cmp(&b.cost));
         population = next;
 
@@ -626,6 +666,25 @@ pub fn run_controlled<P: GaProblem>(
         history,
         stop_reason,
     }
+}
+
+/// Prices `genomes` through [`GaProblem::cost_batch`] and pairs each
+/// genome with its sanitised cost, preserving order.
+fn evaluate_batch<P: GaProblem>(
+    problem: &P,
+    genomes: Vec<Vec<P::Gene>>,
+) -> Vec<Individual<P::Gene>> {
+    let costs = problem.cost_batch(&genomes);
+    assert_eq!(
+        costs.len(),
+        genomes.len(),
+        "cost_batch must return exactly one cost per genome"
+    );
+    genomes
+        .into_iter()
+        .zip(costs)
+        .map(|(genome, cost)| Individual { genome, cost: sanitize_cost(cost) })
+        .collect()
 }
 
 fn make_snapshot<G: Clone>(
@@ -763,6 +822,99 @@ mod tests {
         assert_eq!(a.best, b.best);
         assert_eq!(a.best_cost, b.best_cost);
         assert_eq!(a.history, b.history);
+    }
+
+    /// Wraps a problem, prices batches in reverse order and records every
+    /// batch size plus the total number of genomes priced.
+    struct ReversedBatch<P> {
+        inner: P,
+        batches: std::cell::RefCell<Vec<usize>>,
+        priced: std::cell::Cell<usize>,
+    }
+
+    impl<P> ReversedBatch<P> {
+        fn new(inner: P) -> Self {
+            Self {
+                inner,
+                batches: std::cell::RefCell::new(Vec::new()),
+                priced: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl<P: GaProblem> GaProblem for ReversedBatch<P> {
+        type Gene = P::Gene;
+        fn genome_len(&self) -> usize {
+            self.inner.genome_len()
+        }
+        fn random_gene(&self, locus: usize, rng: &mut dyn RngCore) -> Self::Gene {
+            self.inner.random_gene(locus, rng)
+        }
+        fn cost(&self, genome: &[Self::Gene]) -> f64 {
+            self.priced.set(self.priced.get() + 1);
+            self.inner.cost(genome)
+        }
+        fn improve(&self, genome: &mut [Self::Gene], rng: &mut dyn RngCore) {
+            self.inner.improve(genome, rng);
+        }
+        fn seeds(&self) -> Vec<Vec<Self::Gene>> {
+            self.inner.seeds()
+        }
+        fn cost_batch(&self, genomes: &[Vec<Self::Gene>]) -> Vec<f64> {
+            self.batches.borrow_mut().push(genomes.len());
+            let mut costs = vec![0.0; genomes.len()];
+            for i in (0..genomes.len()).rev() {
+                costs[i] = self.cost(&genomes[i]);
+            }
+            costs
+        }
+    }
+
+    #[test]
+    fn out_of_order_cost_batch_preserves_the_trajectory() {
+        let cfg = GaConfig { seed: 11, max_generations: 30, ..GaConfig::default() };
+        let serial = run(&MatchTarget { target: vec![5, -3, 2, 8] }, &cfg);
+        let batched = ReversedBatch::new(MatchTarget { target: vec![5, -3, 2, 8] });
+        let reversed = run(&batched, &cfg);
+        assert_eq!(serial.best, reversed.best);
+        assert_eq!(serial.best_cost, reversed.best_cost);
+        assert_eq!(serial.history, reversed.history);
+        assert_eq!(serial.evaluations, reversed.evaluations);
+        assert_eq!(serial.stop_reason, reversed.stop_reason);
+    }
+
+    #[test]
+    fn batches_cover_generations_and_elites_are_never_repriced() {
+        let elitism = 3;
+        let cfg = GaConfig {
+            population_size: 12,
+            elitism,
+            max_generations: 7,
+            stagnation_limit: 100,
+            seed: 4,
+            ..GaConfig::default()
+        };
+        let problem = ReversedBatch::new(MatchTarget { target: vec![1, 2, 3, 4, 5] });
+        let outcome = run(&problem, &cfg);
+        assert_eq!(outcome.generations, 7);
+
+        // The problem priced exactly as many genomes as the engine
+        // reports: elites carry their known cost and are never handed to
+        // cost()/cost_batch() a second time.
+        assert_eq!(problem.priced.get(), outcome.evaluations);
+        assert_eq!(
+            outcome.evaluations,
+            cfg.population_size + outcome.generations * (cfg.population_size - elitism)
+        );
+
+        // One batch for the initial population, then one per generation
+        // covering everything but the elites.
+        let batches = problem.batches.borrow();
+        assert_eq!(batches.len(), outcome.generations + 1);
+        assert_eq!(batches[0], cfg.population_size);
+        for &size in &batches[1..] {
+            assert_eq!(size, cfg.population_size - elitism);
+        }
     }
 
     #[test]

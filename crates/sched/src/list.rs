@@ -20,7 +20,7 @@ use momsynth_model::System;
 
 use crate::error::SchedError;
 use crate::mapping::{CoreAllocation, SystemMapping};
-use crate::mobility::TimingAnalysis;
+use crate::mobility::{MobilityScratch, TimingAnalysis};
 use crate::schedule::{ActivityId, ResourceKey, Schedule, ScheduledComm, ScheduledTask};
 
 /// The rule used to order ready tasks.
@@ -40,11 +40,30 @@ pub struct SchedulerOptions {
     pub priority: Priority,
 }
 
+/// Reusable buffers for [`schedule_mode_with`]. One instance per
+/// evaluation worker amortises the scheduler's per-call allocations
+/// (priority order, ranks, ready list, dependency counters and the
+/// mobility analysis) across the thousands of schedule calls of a
+/// synthesis run. Buffers are cleared on entry, so reuse can never leak
+/// state between calls.
+#[derive(Debug, Default)]
+pub struct ListScratch {
+    mobility: MobilityScratch,
+    order: Vec<TaskId>,
+    rank: Vec<usize>,
+    scheduled: Vec<Option<ScheduledTask>>,
+    pending_preds: Vec<usize>,
+    ready: Vec<TaskId>,
+}
+
 /// Schedules one mode of `system` under `mapping` and `alloc`.
 ///
 /// Returns a [`Schedule`] with per-resource activity sequences; timing
 /// feasibility is *not* enforced here — the caller inspects
 /// [`Schedule::total_lateness`] and applies the paper's timing penalty.
+///
+/// Allocates fresh working buffers per call; the synthesis hot loop uses
+/// [`schedule_mode_with`] with a reusable [`ListScratch`] instead.
 ///
 /// # Errors
 ///
@@ -58,30 +77,63 @@ pub fn schedule_mode(
     alloc: &CoreAllocation,
     options: SchedulerOptions,
 ) -> Result<Schedule, SchedError> {
+    schedule_mode_with(system, mode, mapping, alloc, options, &mut ListScratch::default())
+}
+
+/// [`schedule_mode`] with caller-provided scratch buffers; produces the
+/// identical schedule.
+///
+/// # Errors
+///
+/// As [`schedule_mode`].
+pub fn schedule_mode_with(
+    system: &System,
+    mode: ModeId,
+    mapping: &SystemMapping,
+    alloc: &CoreAllocation,
+    options: SchedulerOptions,
+    scratch: &mut ListScratch,
+) -> Result<Schedule, SchedError> {
     let graph = system.omsm().mode(mode).graph();
     let n = graph.task_count();
 
     // Priority ranks: rank[task] = position in the chosen order.
-    let order: Vec<TaskId> = match options.priority {
-        Priority::Mobility => TimingAnalysis::analyze(system, mode, mapping).priority_order(),
-        Priority::Fifo => graph.task_ids().collect(),
-    };
-    let mut rank = vec![0usize; n];
+    let order = &mut scratch.order;
+    match options.priority {
+        Priority::Mobility => TimingAnalysis::priority_order_into(
+            system,
+            mode,
+            mapping,
+            &mut scratch.mobility,
+            order,
+        ),
+        Priority::Fifo => {
+            order.clear();
+            order.extend(graph.task_ids());
+        }
+    }
+    let rank = &mut scratch.rank;
+    rank.clear();
+    rank.resize(n, 0);
     for (pos, &t) in order.iter().enumerate() {
         rank[t.index()] = pos;
     }
 
-    let mut scheduled: Vec<Option<ScheduledTask>> = vec![None; n];
+    let scheduled = &mut scratch.scheduled;
+    scheduled.clear();
+    scheduled.resize(n, None);
+    // The comm entries and resource sequences escape into the returned
+    // `Schedule`, so they are freshly allocated.
     let mut comms: Vec<Option<ScheduledComm>> = vec![None; graph.comm_count()];
     let mut avail: BTreeMap<ResourceKey, Seconds> = BTreeMap::new();
     let mut sequences: BTreeMap<ResourceKey, Vec<ActivityId>> = BTreeMap::new();
 
-    let mut pending_preds: Vec<usize> =
-        graph.task_ids().map(|t| graph.predecessors(t).len()).collect();
-    let mut ready: Vec<TaskId> = graph
-        .task_ids()
-        .filter(|t| pending_preds[t.index()] == 0)
-        .collect();
+    let pending_preds = &mut scratch.pending_preds;
+    pending_preds.clear();
+    pending_preds.extend(graph.task_ids().map(|t| graph.predecessors(t).len()));
+    let ready = &mut scratch.ready;
+    ready.clear();
+    ready.extend(graph.task_ids().filter(|t| pending_preds[t.index()] == 0));
 
     while let Some(pos) = ready
         .iter()
@@ -162,8 +214,8 @@ pub fn schedule_mode(
     }
 
     let tasks: Vec<ScheduledTask> = scheduled
-        .into_iter()
-        .map(|t| t.expect("acyclic graph schedules every task"))
+        .iter_mut()
+        .map(|t| t.take().expect("acyclic graph schedules every task"))
         .collect();
     let sequences: Vec<(ResourceKey, Vec<ActivityId>)> = sequences.into_iter().collect();
     Ok(Schedule::from_parts(mode, tasks, comms, sequences))
@@ -434,6 +486,37 @@ mod tests {
         let a = run(&sys, &mapping);
         let b = run(&sys, &mapping);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reused_scratch_produces_identical_schedules() {
+        let sys = testbed();
+        let mut scratch = ListScratch::default();
+        // Alternate between mappings so every buffer is refilled with
+        // different contents; each result must match a fresh-buffer run.
+        for hw_task in [1usize, 2, 1] {
+            let mut mapping = cpu_mapping(&sys);
+            mapping.set(ModeId::new(0), TaskId::new(hw_task), PeId::new(1));
+            let alloc = CoreAllocation::minimal(&sys, &mapping);
+            let reused = schedule_mode_with(
+                &sys,
+                ModeId::new(0),
+                &mapping,
+                &alloc,
+                SchedulerOptions::default(),
+                &mut scratch,
+            )
+            .unwrap();
+            let fresh = schedule_mode(
+                &sys,
+                ModeId::new(0),
+                &mapping,
+                &alloc,
+                SchedulerOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(reused, fresh);
+        }
     }
 
     #[test]

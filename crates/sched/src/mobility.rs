@@ -26,6 +26,100 @@ pub struct TimingAnalysis {
     alap: Vec<Seconds>,
 }
 
+/// Reusable buffers for [`TimingAnalysis::priority_order_into`]. One
+/// instance per evaluation worker amortises the analysis allocations
+/// across the many schedule calls of a synthesis run.
+#[derive(Debug, Default)]
+pub struct MobilityScratch {
+    exec: Vec<Seconds>,
+    asap: Vec<Seconds>,
+    alap: Vec<Seconds>,
+    alap_finish: Vec<Seconds>,
+}
+
+/// Fills `exec`, `asap`, `alap` (and the `alap_finish` intermediate) for
+/// `mode`, reusing whatever capacity the buffers already have.
+fn analyze_into(
+    system: &System,
+    mode: ModeId,
+    mapping: &SystemMapping,
+    exec: &mut Vec<Seconds>,
+    asap: &mut Vec<Seconds>,
+    alap: &mut Vec<Seconds>,
+    alap_finish: &mut Vec<Seconds>,
+) {
+    let graph = system.omsm().mode(mode).graph();
+    let n = graph.task_count();
+
+    exec.clear();
+    exec.extend(graph.tasks().map(|(task, t)| {
+        let pe = mapping.pe_of(mode, task);
+        system
+            .tech()
+            .impl_of(t.task_type(), pe)
+            .map(|imp| imp.exec_time())
+            .or_else(|| system.tech().fastest_exec_time(t.task_type()))
+            .unwrap_or(Seconds::ZERO)
+    }));
+
+    let comm_est = |comm: momsynth_model::ids::CommId| -> Seconds {
+        let edge = graph.comm(comm);
+        let src_pe = mapping.pe_of(mode, edge.src());
+        let dst_pe = mapping.pe_of(mode, edge.dst());
+        if src_pe == dst_pe {
+            return Seconds::ZERO;
+        }
+        system
+            .arch()
+            .cls_between(src_pe, dst_pe)
+            .map(|cl| system.arch().cl(cl).transfer_time(edge.data_units()))
+            .fold(None, |best: Option<Seconds>, t| {
+                Some(best.map_or(t, |b| b.min(t)))
+            })
+            .unwrap_or(Seconds::ZERO)
+    };
+
+    // Forward pass: earliest start ignoring resource contention.
+    asap.clear();
+    asap.resize(n, Seconds::ZERO);
+    for &t in graph.topological_order() {
+        let mut start = Seconds::ZERO;
+        for &(comm, pred) in graph.predecessors(t) {
+            let arrival = asap[pred.index()] + exec[pred.index()] + comm_est(comm);
+            start = start.max(arrival);
+        }
+        asap[t.index()] = start;
+    }
+
+    // Backward pass: latest start meeting min(θ, φ) everywhere.
+    alap_finish.clear();
+    alap_finish.extend(graph.task_ids().map(|t| graph.effective_deadline(t)));
+    for &t in graph.topological_order().iter().rev() {
+        let mut finish = graph.effective_deadline(t);
+        for &(comm, succ) in graph.successors(t) {
+            let succ_start = alap_finish[succ.index()] - exec[succ.index()];
+            finish = finish.min(succ_start - comm_est(comm));
+        }
+        alap_finish[t.index()] = finish;
+    }
+    alap.clear();
+    alap.extend(alap_finish.iter().zip(exec.iter()).map(|(&f, &e)| f - e));
+}
+
+/// Sorts all task ids by ascending mobility (`alap − asap`), ties broken
+/// by ASAP time and then task id, into `out`.
+fn fill_priority_order(asap: &[Seconds], alap: &[Seconds], out: &mut Vec<TaskId>) {
+    out.clear();
+    out.extend((0..asap.len()).map(TaskId::new));
+    out.sort_by(|&a, &b| {
+        let mob = |t: TaskId| (alap[t.index()] - asap[t.index()]).value();
+        mob(a)
+            .total_cmp(&mob(b))
+            .then(asap[a.index()].value().total_cmp(&asap[b.index()].value()))
+            .then(a.index().cmp(&b.index()))
+    });
+}
+
 impl TimingAnalysis {
     /// Analyses `mode` of `system` under `mapping`.
     ///
@@ -34,68 +128,36 @@ impl TimingAnalysis {
     /// analysis stays total; such mappings are rejected later by
     /// [`SystemMapping::validate`] and the scheduler.
     pub fn analyze(system: &System, mode: ModeId, mapping: &SystemMapping) -> Self {
-        let graph = system.omsm().mode(mode).graph();
-        let n = graph.task_count();
-
-        let exec: Vec<Seconds> = graph
-            .tasks()
-            .map(|(task, t)| {
-                let pe = mapping.pe_of(mode, task);
-                system
-                    .tech()
-                    .impl_of(t.task_type(), pe)
-                    .map(|imp| imp.exec_time())
-                    .or_else(|| system.tech().fastest_exec_time(t.task_type()))
-                    .unwrap_or(Seconds::ZERO)
-            })
-            .collect();
-
-        let comm_est = |comm: momsynth_model::ids::CommId| -> Seconds {
-            let edge = graph.comm(comm);
-            let src_pe = mapping.pe_of(mode, edge.src());
-            let dst_pe = mapping.pe_of(mode, edge.dst());
-            if src_pe == dst_pe {
-                return Seconds::ZERO;
-            }
-            system
-                .arch()
-                .cls_between(src_pe, dst_pe)
-                .map(|cl| system.arch().cl(cl).transfer_time(edge.data_units()))
-                .fold(None, |best: Option<Seconds>, t| {
-                    Some(best.map_or(t, |b| b.min(t)))
-                })
-                .unwrap_or(Seconds::ZERO)
-        };
-
-        // Forward pass: earliest start ignoring resource contention.
-        let mut asap = vec![Seconds::ZERO; n];
-        for &t in graph.topological_order() {
-            let mut start = Seconds::ZERO;
-            for &(comm, pred) in graph.predecessors(t) {
-                let arrival = asap[pred.index()] + exec[pred.index()] + comm_est(comm);
-                start = start.max(arrival);
-            }
-            asap[t.index()] = start;
-        }
-
-        // Backward pass: latest start meeting min(θ, φ) everywhere.
-        let mut alap_finish: Vec<Seconds> =
-            graph.task_ids().map(|t| graph.effective_deadline(t)).collect();
-        for &t in graph.topological_order().iter().rev() {
-            let mut finish = graph.effective_deadline(t);
-            for &(comm, succ) in graph.successors(t) {
-                let succ_start = alap_finish[succ.index()] - exec[succ.index()];
-                finish = finish.min(succ_start - comm_est(comm));
-            }
-            alap_finish[t.index()] = finish;
-        }
-        let alap: Vec<Seconds> = alap_finish
-            .iter()
-            .zip(&exec)
-            .map(|(&f, &e)| f - e)
-            .collect();
-
+        let mut exec = Vec::new();
+        let mut asap = Vec::new();
+        let mut alap = Vec::new();
+        let mut alap_finish = Vec::new();
+        analyze_into(system, mode, mapping, &mut exec, &mut asap, &mut alap, &mut alap_finish);
         Self { mode, exec, asap, alap }
+    }
+
+    /// Computes [`TimingAnalysis::priority_order`] for `mode` directly
+    /// into `out`, reusing `scratch` instead of allocating a fresh
+    /// analysis — the allocation-free path for the list scheduler's hot
+    /// loop. Produces exactly the order `analyze(..).priority_order()`
+    /// returns.
+    pub fn priority_order_into(
+        system: &System,
+        mode: ModeId,
+        mapping: &SystemMapping,
+        scratch: &mut MobilityScratch,
+        out: &mut Vec<TaskId>,
+    ) {
+        analyze_into(
+            system,
+            mode,
+            mapping,
+            &mut scratch.exec,
+            &mut scratch.asap,
+            &mut scratch.alap,
+            &mut scratch.alap_finish,
+        );
+        fill_priority_order(&scratch.asap, &scratch.alap, out);
     }
 
     /// Returns the analysed mode.
@@ -145,14 +207,8 @@ impl TimingAnalysis {
     /// ties broken by ASAP time and then task id — the list-scheduler
     /// priority order.
     pub fn priority_order(&self) -> Vec<TaskId> {
-        let mut order: Vec<TaskId> = (0..self.exec.len()).map(TaskId::new).collect();
-        order.sort_by(|&a, &b| {
-            self.mobility(a)
-                .value()
-                .total_cmp(&self.mobility(b).value())
-                .then(self.asap(a).value().total_cmp(&self.asap(b).value()))
-                .then(a.index().cmp(&b.index()))
-        });
+        let mut order = Vec::new();
+        fill_priority_order(&self.asap, &self.alap, &mut order);
         order
     }
 
@@ -317,6 +373,29 @@ mod tests {
         assert!((ta.alap(TaskId::new(0)).as_millis() - 5.0).abs() < 1e-9);
         assert_eq!(ta.asap(TaskId::new(0)), Seconds::ZERO);
         assert!((ta.mobility(TaskId::new(0)).as_millis() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_priority_order_matches_the_allocating_path() {
+        let sys = fork_join_system(100.0);
+        let mut scratch = MobilityScratch::default();
+        let mut order = Vec::new();
+        // Reuse the same scratch across different mappings: stale buffer
+        // contents must not leak into later analyses.
+        for hw_task in [1usize, 2] {
+            let mut mapping = all_cpu_mapping(&sys);
+            mapping.set(ModeId::new(0), TaskId::new(hw_task), PeId::new(1));
+            TimingAnalysis::priority_order_into(
+                &sys,
+                ModeId::new(0),
+                &mapping,
+                &mut scratch,
+                &mut order,
+            );
+            let expected =
+                TimingAnalysis::analyze(&sys, ModeId::new(0), &mapping).priority_order();
+            assert_eq!(order, expected);
+        }
     }
 
     #[test]

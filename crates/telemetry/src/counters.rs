@@ -15,6 +15,9 @@ pub struct CounterSet {
     area_violations: Cell<u64>,
     transition_violations: Cell<u64>,
     dvs_iterations: Cell<u64>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+    evaluated: Cell<u64>,
     improve_applied: [Cell<u64>; OPERATOR_COUNT],
     improve_accepted: [Cell<u64>; OPERATOR_COUNT],
 }
@@ -62,6 +65,43 @@ impl CounterSet {
         self.dvs_iterations.set(self.dvs_iterations.get() + n);
     }
 
+    /// Counts `n` genomes served from the evaluation cache.
+    pub fn add_cache_hits(&self, n: u64) {
+        self.cache_hits.set(self.cache_hits.get() + n);
+    }
+
+    /// Counts `n` genomes that missed the evaluation cache.
+    pub fn add_cache_misses(&self, n: u64) {
+        self.cache_misses.set(self.cache_misses.get() + n);
+    }
+
+    /// Counts `n` genomes actually run through the inner loop.
+    pub fn add_evaluated(&self, n: u64) {
+        self.evaluated.set(self.evaluated.get() + n);
+    }
+
+    /// Adds another snapshot's totals onto this set. Addition commutes,
+    /// so folding per-worker counters back in after a parallel batch
+    /// yields thread-count-independent totals.
+    pub fn merge(&self, other: &Counters) {
+        self.rejected.set(self.rejected.get() + other.rejected);
+        self.timing_violations
+            .set(self.timing_violations.get() + other.timing_violations);
+        self.area_violations.set(self.area_violations.get() + other.area_violations);
+        self.transition_violations
+            .set(self.transition_violations.get() + other.transition_violations);
+        self.dvs_iterations.set(self.dvs_iterations.get() + other.dvs_iterations);
+        self.cache_hits.set(self.cache_hits.get() + other.cache_hits);
+        self.cache_misses.set(self.cache_misses.get() + other.cache_misses);
+        self.evaluated.set(self.evaluated.get() + other.evaluated);
+        for (cell, &v) in self.improve_applied.iter().zip(&other.improve_applied) {
+            cell.set(cell.get() + v);
+        }
+        for (cell, &v) in self.improve_accepted.iter().zip(&other.improve_accepted) {
+            cell.set(cell.get() + v);
+        }
+    }
+
     /// Freezes the current totals.
     pub fn snapshot(&self) -> Counters {
         Counters {
@@ -70,6 +110,9 @@ impl CounterSet {
             area_violations: self.area_violations.get(),
             transition_violations: self.transition_violations.get(),
             dvs_iterations: self.dvs_iterations.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            evaluated: self.evaluated.get(),
             improve_applied: self.improve_applied.iter().map(Cell::get).collect(),
             improve_accepted: self.improve_accepted.iter().map(Cell::get).collect(),
         }
@@ -83,6 +126,9 @@ impl CounterSet {
         self.area_violations.set(counters.area_violations);
         self.transition_violations.set(counters.transition_violations);
         self.dvs_iterations.set(counters.dvs_iterations);
+        self.cache_hits.set(counters.cache_hits);
+        self.cache_misses.set(counters.cache_misses);
+        self.evaluated.set(counters.evaluated);
         for (cell, &v) in self.improve_applied.iter().zip(&counters.improve_applied) {
             cell.set(v);
         }
@@ -116,5 +162,37 @@ mod tests {
         let other = CounterSet::new();
         other.restore(&snap);
         assert_eq!(other.snapshot(), snap);
+    }
+
+    #[test]
+    fn cache_counters_round_trip_and_merge() {
+        let set = CounterSet::new();
+        set.add_cache_hits(3);
+        set.add_cache_misses(5);
+        set.add_evaluated(4);
+        let snap = set.snapshot();
+        assert_eq!(snap.cache_hits, 3);
+        assert_eq!(snap.cache_misses, 5);
+        assert_eq!(snap.evaluated, 4);
+        assert!((snap.cache_hit_rate() - 3.0 / 8.0).abs() < 1e-12);
+        assert_eq!(Counters::default().cache_hit_rate(), 0.0);
+
+        let other = CounterSet::new();
+        other.restore(&snap);
+        assert_eq!(other.snapshot(), snap);
+
+        // Merging a worker snapshot adds component-wise.
+        let worker = CounterSet::new();
+        worker.add_rejected();
+        worker.add_dvs_iterations(7);
+        worker.add_evaluated(2);
+        worker.note_improve(1, true);
+        set.merge(&worker.snapshot());
+        let merged = set.snapshot();
+        assert_eq!(merged.rejected, 1);
+        assert_eq!(merged.dvs_iterations, 7);
+        assert_eq!(merged.evaluated, 6);
+        assert_eq!(merged.improve_applied, vec![0, 1, 0, 0]);
+        assert_eq!(merged.improve_accepted, vec![0, 1, 0, 0]);
     }
 }

@@ -62,10 +62,30 @@ pub struct Counters {
     pub transition_violations: u64,
     /// Total PV-DVS inner-loop iterations spent.
     pub dvs_iterations: u64,
+    /// Genomes whose cost was served by the evaluation cache.
+    pub cache_hits: u64,
+    /// Genomes that missed the evaluation cache.
+    pub cache_misses: u64,
+    /// Genomes actually run through the constructive inner loop. At most
+    /// `cache_misses`: identical genomes within one batch are priced once.
+    pub evaluated: u64,
     /// Applications of each improvement operator (see [`OPERATOR_NAMES`]).
     pub improve_applied: Vec<u64>,
     /// Applications that actually changed the genome, per operator.
     pub improve_accepted: Vec<u64>,
+}
+
+impl Counters {
+    /// Fraction of cost lookups answered from the evaluation cache,
+    /// `0.0` when nothing was looked up.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
 }
 
 impl Default for Counters {
@@ -76,6 +96,9 @@ impl Default for Counters {
             area_violations: 0,
             transition_violations: 0,
             dvs_iterations: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            evaluated: 0,
             improve_applied: vec![0; OPERATOR_COUNT],
             improve_accepted: vec![0; OPERATOR_COUNT],
         }
@@ -156,6 +179,10 @@ pub struct RunSummary {
     pub wall_time_s: f64,
     /// Evaluation throughput (`evaluations / wall_time_s`).
     pub evals_per_sec: f64,
+    /// Worker threads used for batch fitness evaluation.
+    pub threads: u64,
+    /// Fraction of cost lookups served by the evaluation cache.
+    pub cache_hit_rate: f64,
     /// Final cumulative counters.
     pub counters: Counters,
     /// Accumulated inner-loop phase timings.
@@ -165,7 +192,8 @@ pub struct RunSummary {
 impl RunSummary {
     /// A copy with every wall-clock-derived field zeroed, for comparing
     /// the summaries of deterministic replays (e.g. a run against its
-    /// checkpoint-resumed counterpart).
+    /// checkpoint-resumed counterpart). `threads` and `cache_hit_rate`
+    /// survive normalisation: both are deterministic for a fixed seed.
     pub fn normalized(&self) -> Self {
         let mut s = self.clone();
         s.wall_time_s = 0.0;
@@ -245,6 +273,8 @@ mod tests {
             rejected: 0,
             wall_time_s: 1.25,
             evals_per_sec: 400.0,
+            threads: 4,
+            cache_hit_rate: 0.25,
             counters: Counters::default(),
             phases: vec![PhaseTiming {
                 phase: Phase::FitnessEval,
@@ -258,6 +288,8 @@ mod tests {
         assert_eq!(norm.evals_per_sec, 0.0);
         assert!(norm.phases.is_empty());
         assert_eq!(norm.average_power_mw, summary.average_power_mw);
+        assert_eq!(norm.threads, summary.threads);
+        assert_eq!(norm.cache_hit_rate, summary.cache_hit_rate);
         let json = serde_json::to_string(&Event::Summary(summary)).unwrap();
         let back: Event = serde_json::from_str(&json).unwrap();
         assert!(matches!(back, Event::Summary(_)));

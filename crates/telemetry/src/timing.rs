@@ -138,6 +138,20 @@ impl PhaseAccumulator {
         PhaseGuard { acc: self, phase, start: self.enabled.then(Instant::now) }
     }
 
+    /// Adds already-measured spans onto this accumulator, e.g. folding a
+    /// parallel worker's timings back into the run-wide accumulator
+    /// after a batch. No-op when this accumulator is disabled.
+    pub fn absorb(&self, timings: &[PhaseTiming]) {
+        if !self.enabled {
+            return;
+        }
+        for t in timings {
+            let i = t.phase.index();
+            self.nanos[i].set(self.nanos[i].get() + t.nanos);
+            self.spans[i].set(self.spans[i].get() + t.spans);
+        }
+    }
+
     /// Accumulated timings of every phase that measured at least one span.
     pub fn timings(&self) -> Vec<PhaseTiming> {
         Phase::ALL
@@ -227,6 +241,27 @@ mod tests {
 
         let off = PhaseAccumulator::disabled();
         drop(off.measure_guard(Phase::PowerPricing));
+        assert!(off.timings().is_empty());
+    }
+
+    #[test]
+    fn absorb_folds_worker_timings_in() {
+        let worker = PhaseAccumulator::new(true);
+        worker.measure(Phase::ListScheduling, || std::hint::black_box(0u64));
+        worker.measure(Phase::ListScheduling, || std::hint::black_box(0u64));
+
+        let main = PhaseAccumulator::new(true);
+        main.measure(Phase::ListScheduling, || std::hint::black_box(0u64));
+        main.absorb(&worker.timings());
+        let ls = main
+            .timings()
+            .into_iter()
+            .find(|t| t.phase == Phase::ListScheduling)
+            .unwrap();
+        assert_eq!(ls.spans, 3);
+
+        let off = PhaseAccumulator::disabled();
+        off.absorb(&worker.timings());
         assert!(off.timings().is_empty());
     }
 

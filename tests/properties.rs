@@ -12,6 +12,7 @@ use momsynth::power::{mode_power, ModeImplementation};
 use momsynth::sched::{
     schedule_mode, ActivityId, CoreAllocation, Schedule, SchedulerOptions, SystemMapping,
 };
+use momsynth::synthesis::{SynthesisConfig, Synthesizer};
 
 /// A small generated system plus a random (valid) mapping for it.
 fn system_and_mapping() -> impl Strategy<Value = (System, SystemMapping)> {
@@ -229,5 +230,58 @@ proptest! {
                 prop_assert!(comm.start.value() >= 0.0);
             }
         }
+    }
+}
+
+/// A short synthesis run on a small generated system, for the
+/// trajectory-invariance properties below.
+fn short_synthesis_config(seed: u64) -> (System, SynthesisConfig) {
+    let mut params = GeneratorParams::new("invariance", seed);
+    params.modes = 2;
+    params.tasks_per_mode = (4, 8);
+    let system = generate(&params);
+    let mut config = SynthesisConfig::fast_preset(seed);
+    config.ga.max_generations = 8;
+    (system, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Batches are priced out of order across workers, but the GA
+    /// trajectory must not depend on the thread count: scatter happens
+    /// serially in batch order, and the fitness of a genome is a pure
+    /// function of the genome.
+    #[test]
+    fn synthesis_is_thread_count_invariant(seed in 1u64..200, threads in 2usize..6) {
+        let (system, config) = short_synthesis_config(seed);
+        let mut parallel_cfg = config.clone();
+        parallel_cfg.threads = threads;
+        let serial = Synthesizer::new(&system, config).run().expect("schedulable system");
+        let parallel =
+            Synthesizer::new(&system, parallel_cfg).run().expect("schedulable system");
+        prop_assert_eq!(&serial.best, &parallel.best);
+        prop_assert_eq!(&serial.history, &parallel.history);
+        prop_assert_eq!(serial.evaluations, parallel.evaluations);
+        prop_assert_eq!(serial.stop_reason, parallel.stop_reason);
+        prop_assert_eq!(&serial.counters, &parallel.counters);
+    }
+
+    /// Memoisation is sound because fitness is pure: serving a genome's
+    /// cost from the cache must leave the whole run bit-identical to
+    /// re-deriving it (counters differ by design — hits are counted).
+    #[test]
+    fn synthesis_is_cache_invariant(seed in 1u64..200) {
+        let (system, cached_cfg) = short_synthesis_config(seed);
+        prop_assert!(cached_cfg.cache_capacity > 0);
+        let mut plain_cfg = cached_cfg.clone();
+        plain_cfg.cache_capacity = 0;
+        let cached = Synthesizer::new(&system, cached_cfg).run().expect("schedulable system");
+        let plain = Synthesizer::new(&system, plain_cfg).run().expect("schedulable system");
+        prop_assert_eq!(&cached.best, &plain.best);
+        prop_assert_eq!(&cached.history, &plain.history);
+        prop_assert_eq!(cached.evaluations, plain.evaluations);
+        prop_assert_eq!(cached.stop_reason, plain.stop_reason);
+        prop_assert_eq!(plain.counters.cache_hits, 0);
     }
 }
