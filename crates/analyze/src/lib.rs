@@ -1,0 +1,800 @@
+//! # momsynth-analyze — pre-synthesis static feasibility analysis
+//!
+//! Statically analyzes a [`System`] *before* synthesis and derives
+//! provable bounds from the model alone:
+//!
+//! - **Timing.** Per mode, the critical-path lower bound (every task at
+//!   its fastest nominal implementation, communication free) against the
+//!   period, and per-task finish-time floors against effective deadlines
+//!   `min(θ, φ)`. DVS only *stretches* execution times relative to the
+//!   nominal fastest implementation, so these floors hold for scaled
+//!   runs too.
+//! - **Area.** Per hardware PE, the core area forced onto it by task
+//!   types implementable nowhere else (constraint (a) of the paper);
+//!   for reconfigurable PEs the per-mode maximum, since cores can be
+//!   swapped between modes.
+//! - **Power.** A probability-weighted Eq. 1 lower bound `p̄_LB`: each
+//!   task priced at its cheapest capable PE at the lowest legal supply
+//!   voltage, communications free, static power excluded. Every term of
+//!   Eq. 1 the bound drops is non-negative and every term it keeps is at
+//!   its minimum, so `p̄ ≥ p̄_LB` for *any* mapping of the system.
+//! - **Transitions.** The `t_T^max` floor from FPGA reconfiguration
+//!   times, and OMSM reachability.
+//! - **Genome domains.** The per-`(mode, task)` capable-PE sets, with
+//!   `(task, PE)` pairs removed when mapping the task there provably
+//!   violates a deadline or the period. The synthesiser feeds these into
+//!   genome construction so mutation and crossover never generate a gene
+//!   outside its statically proven domain.
+//!
+//! Findings are graded [`Severity::Error`] (a *proof* of infeasibility),
+//! [`Severity::Warning`] or [`Severity::Info`]. Like `momsynth-check`,
+//! this crate sits *below* the synthesis core and shares no code with
+//! the constructive inner loop: it re-derives everything from
+//! `momsynth-model` and the `momsynth-dvs` voltage mathematics, so its
+//! verdicts are independent evidence, not an echo of the optimiser.
+//!
+//! # Examples
+//!
+//! ```
+//! use momsynth_analyze::analyze_system;
+//! # use momsynth_model::{ArchitectureBuilder, Implementation, OmsmBuilder, Pe, PeKind,
+//! #     System, TaskGraphBuilder, TechLibraryBuilder};
+//! # use momsynth_model::units::{Seconds, Watts};
+//! # let mut tech = TechLibraryBuilder::new();
+//! # let t = tech.add_type("T");
+//! # let mut arch = ArchitectureBuilder::new();
+//! # let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::ZERO));
+//! # tech.set_impl(t, cpu, Implementation::software(Seconds::new(0.01), Watts::new(0.1)));
+//! # let mut g = TaskGraphBuilder::new("m", Seconds::new(1.0));
+//! # g.add_task("t", t);
+//! # let mut omsm = OmsmBuilder::new();
+//! # omsm.add_mode("m", 1.0, g.build().unwrap());
+//! # let system = System::new("s", omsm.build().unwrap(), arch.build().unwrap(),
+//! #     tech.build()).unwrap();
+//! let analysis = analyze_system(&system);
+//! assert!(!analysis.has_errors(), "{analysis}");
+//! assert!(analysis.power_lower_bound().value() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod report;
+
+pub use report::{Analysis, AreaBound, Finding, ModeBounds, Severity};
+
+use momsynth_dvs::VoltageModel;
+use momsynth_model::ids::{GlobalTaskId, PeId, TaskTypeId};
+use momsynth_model::omsm::PROBABILITY_SUM_TOLERANCE;
+use momsynth_model::units::{Cells, Seconds, Watts};
+use momsynth_model::{Pe, System, TaskGraph};
+
+/// `true` when `value` exceeds `bound` by more than float noise. Used
+/// for every infeasibility verdict so an *exactly* tight specification —
+/// which the constructive flow can still schedule — is never rejected.
+fn exceeds(value: Seconds, bound: Seconds) -> bool {
+    value.value() > bound.value() + (1e-9 * bound.value().abs()).max(1e-12)
+}
+
+/// The provable multiplicative floor on a task's energy on `pe`: with
+/// DVS the supply can drop to the lowest legal level `v_min`, scaling
+/// energy by `(v_min / v_max)²` (the alpha-power model's energy factor);
+/// without DVS the nominal energy stands.
+fn dvs_energy_floor(pe: &Pe) -> f64 {
+    let Some(cap) = pe.dvs() else { return 1.0 };
+    let (v_max, v_t) = (cap.v_max(), cap.v_threshold());
+    if !v_max.value().is_finite() || !v_t.value().is_finite() || v_max <= v_t {
+        return 1.0; // Degenerate capability: fall back to the nominal energy.
+    }
+    VoltageModel::from_capability(cap).energy_factor(cap.v_min()).clamp(0.0, 1.0)
+}
+
+/// Per-task path floors of one mode: earliest-finish and downstream-tail
+/// lower bounds with every task at its fastest nominal implementation
+/// and free communication.
+struct PathFloors {
+    /// Earliest possible start of each task (longest predecessor chain).
+    start_lb: Vec<Seconds>,
+    /// Earliest possible finish of each task (`start_lb + fastest exec`).
+    finish_lb: Vec<Seconds>,
+    /// Longest successor chain *after* each task finishes.
+    tail_lb: Vec<Seconds>,
+}
+
+fn path_floors(graph: &TaskGraph, t_min: &[Seconds]) -> PathFloors {
+    let n = graph.task_count();
+    let mut start_lb = vec![Seconds::ZERO; n];
+    let mut finish_lb = vec![Seconds::ZERO; n];
+    for &task in graph.topological_order() {
+        let start = graph
+            .predecessors(task)
+            .iter()
+            .map(|&(_, pred)| finish_lb[pred.index()])
+            .fold(Seconds::ZERO, Seconds::max);
+        start_lb[task.index()] = start;
+        finish_lb[task.index()] = start + t_min[task.index()];
+    }
+    let mut tail_lb = vec![Seconds::ZERO; n];
+    for &task in graph.topological_order().iter().rev() {
+        tail_lb[task.index()] = graph
+            .successors(task)
+            .iter()
+            .map(|&(_, succ)| t_min[succ.index()] + tail_lb[succ.index()])
+            .fold(Seconds::ZERO, Seconds::max);
+    }
+    PathFloors { start_lb, finish_lb, tail_lb }
+}
+
+/// Statically analyzes `system` and returns the full [`Analysis`]
+/// report: findings, per-mode and per-PE bounds, the Eq. 1 power lower
+/// bound `p̄_LB` and the pruned per-locus capable-PE sets.
+pub fn analyze_system(system: &System) -> Analysis {
+    let omsm = system.omsm();
+    let arch = system.arch();
+    let tech = system.tech();
+    let mut findings = Vec::new();
+    let mut mode_bounds = Vec::new();
+    let mut capable_pes: Vec<Vec<PeId>> = Vec::with_capacity(omsm.total_task_count());
+    let mut total_candidates = 0usize;
+    let mut pruned_candidates = 0usize;
+    let mut power_lower_bound = Watts::ZERO;
+
+    // OMSM reachability (meaningful for multi-mode systems only).
+    if omsm.mode_count() > 1 {
+        for mode in omsm.mode_ids() {
+            if !omsm.transitions().any(|(_, t)| t.to() == mode) {
+                findings.push(Finding::ModeUnreachable { mode });
+            }
+            if omsm.transitions_from(mode).next().is_none() {
+                findings.push(Finding::ModeTrapping { mode });
+            }
+        }
+    }
+
+    // Probability mass: the builder enforces Σ Ψ_O ≈ 1, but deserialised
+    // specifications arrive unchecked.
+    let sum: f64 = omsm.modes().map(|(_, m)| m.probability()).sum();
+    if (sum - 1.0).abs() > PROBABILITY_SUM_TOLERANCE {
+        findings.push(Finding::ProbabilityMassDrift { sum });
+    }
+
+    for (mode, m) in omsm.modes() {
+        let graph = m.graph();
+        let period = graph.period();
+
+        // Candidate lists and fastest nominal execution times. A task
+        // without candidates (possible only for deserialised systems) is
+        // an error; its zero weight keeps the path floors conservative.
+        let candidates: Vec<Vec<PeId>> = graph
+            .task_ids()
+            .map(|t| system.candidate_pes(GlobalTaskId::new(mode, t)))
+            .collect();
+        let t_min: Vec<Seconds> = graph
+            .task_ids()
+            .map(|t| tech.fastest_exec_time(graph.task(t).task_type()).unwrap_or(Seconds::ZERO))
+            .collect();
+        for (task, c) in graph.task_ids().zip(&candidates) {
+            if c.is_empty() {
+                findings.push(Finding::TaskWithNoCapablePe { mode, task });
+            }
+        }
+
+        let floors = path_floors(graph, &t_min);
+        let critical_path_lb =
+            floors.finish_lb.iter().copied().fold(Seconds::ZERO, Seconds::max);
+        if exceeds(critical_path_lb, period) {
+            findings.push(Finding::PeriodBelowCriticalPathFloor {
+                mode,
+                floor: critical_path_lb,
+                period,
+            });
+        }
+
+        let mut power_lb = Watts::ZERO;
+        for task in graph.task_ids() {
+            let i = task.index();
+            let ty = graph.task(task).task_type();
+            let effective = graph.effective_deadline(task);
+
+            // A task whose own deadline (strictly tighter than the
+            // period) sits below its finish floor is a proof of
+            // infeasibility in itself; period-level floors are reported
+            // once per mode above.
+            if graph.task(task).deadline().is_some()
+                && effective < period
+                && exceeds(floors.finish_lb[i], effective)
+            {
+                findings.push(Finding::DeadlineBelowCriticalPathFloor {
+                    mode,
+                    task,
+                    floor: floors.finish_lb[i],
+                    deadline: effective,
+                });
+            }
+
+            // Prune `(task, PE)` pairs that provably violate the task's
+            // effective deadline or — through the cheapest possible
+            // downstream chain — the period. If *every* candidate is
+            // dead the mode already carries an Error finding (the floor
+            // with the fastest implementation is itself too late), so
+            // the full list is kept and synthesis fails fast instead.
+            let full = &candidates[i];
+            let mut kept: Vec<PeId> = Vec::with_capacity(full.len());
+            let mut pruned: Vec<Finding> = Vec::new();
+            for &pe in full {
+                let exec = tech
+                    .impl_of(ty, pe)
+                    .map_or(Seconds::ZERO, momsynth_model::Implementation::exec_time);
+                let finish = floors.start_lb[i] + exec;
+                if exceeds(finish, effective) {
+                    pruned.push(Finding::GenePruned {
+                        mode,
+                        task,
+                        pe,
+                        floor: finish,
+                        deadline: effective,
+                    });
+                } else if exceeds(finish + floors.tail_lb[i], period) {
+                    pruned.push(Finding::GenePruned {
+                        mode,
+                        task,
+                        pe,
+                        floor: finish + floors.tail_lb[i],
+                        deadline: period,
+                    });
+                } else {
+                    kept.push(pe);
+                }
+            }
+            total_candidates += full.len();
+            if kept.is_empty() {
+                capable_pes.push(full.clone());
+            } else {
+                pruned_candidates += pruned.len();
+                findings.append(&mut pruned);
+                capable_pes.push(kept);
+            }
+
+            // Cheapest capable implementation at the lowest legal
+            // voltage, over the *full* candidate list: the energy floor
+            // must hold for any mapping, not only unpruned ones.
+            let energy_floor = full
+                .iter()
+                .filter_map(|&pe| {
+                    let imp = tech.impl_of(ty, pe)?;
+                    Some(imp.energy() * dvs_energy_floor(arch.pe(pe)))
+                })
+                .min_by(|a, b| a.value().total_cmp(&b.value()));
+            if let Some(energy) = energy_floor {
+                if period > Seconds::ZERO {
+                    power_lb += energy / period;
+                }
+            }
+        }
+
+        power_lower_bound += power_lb * m.probability();
+        mode_bounds.push(ModeBounds {
+            mode,
+            name: m.name().to_owned(),
+            critical_path_lb,
+            period,
+            power_lb,
+        });
+    }
+
+    // Area floors: a used task type whose only capable PE is hardware PE
+    // `h` forces its core onto `h`. Cores are shared per type; on a
+    // reconfigurable PE they can be swapped between modes, so the floor
+    // is the per-mode maximum, otherwise the union over all modes.
+    let mut area_bounds = Vec::new();
+    for pe in arch.hardware_pes() {
+        let info = arch.pe(pe);
+        let forced = |ty: TaskTypeId| {
+            let mut caps = tech.pes_supporting(ty);
+            caps.next() == Some(pe) && caps.next().is_none()
+        };
+        let mode_floor = |graph: &TaskGraph| -> Cells {
+            graph
+                .used_types()
+                .into_iter()
+                .filter(|&ty| forced(ty))
+                .filter_map(|ty| tech.impl_of(ty, pe))
+                .map(momsynth_model::Implementation::area)
+                .sum()
+        };
+        let floor = if info.kind().is_reconfigurable() {
+            omsm.modes().map(|(_, m)| mode_floor(m.graph())).max().unwrap_or(Cells::ZERO)
+        } else {
+            let mut types: Vec<TaskTypeId> = omsm
+                .modes()
+                .flat_map(|(_, m)| m.graph().used_types())
+                .filter(|&ty| forced(ty))
+                .collect();
+            types.sort_unstable();
+            types.dedup();
+            types
+                .into_iter()
+                .filter_map(|ty| tech.impl_of(ty, pe))
+                .map(momsynth_model::Implementation::area)
+                .sum()
+        };
+        let capacity = info.area().unwrap_or(Cells::ZERO);
+        if floor > capacity {
+            findings.push(Finding::HardwareAreaFloorExceedsCapacity { pe, floor, capacity });
+        }
+        area_bounds.push(AreaBound { pe, name: info.name().to_owned(), floor, capacity });
+    }
+
+    // Transition-time floors: loading even the smallest loadable core of
+    // a reconfigurable PE takes `reconfig_time_per_cell · min area`; a
+    // `t_T^max` below that dooms any mapping that reconfigures the PE at
+    // this transition (a warning — mappings may simply avoid it).
+    for pe in arch.hardware_pes() {
+        let info = arch.pe(pe);
+        if !info.kind().is_reconfigurable() || info.reconfig_time_per_cell() <= Seconds::ZERO {
+            continue;
+        }
+        let floor = tech
+            .type_ids()
+            .filter_map(|ty| tech.impl_of(ty, pe))
+            .filter(|imp| imp.area() > Cells::ZERO)
+            .map(|imp| info.reconfig_time_per_cell() * imp.area().value() as f64)
+            .min_by(|a, b| a.value().total_cmp(&b.value()));
+        let Some(floor) = floor else { continue };
+        for (transition, t) in omsm.transitions() {
+            if t.max_time() < floor {
+                findings.push(Finding::TransitionTimeBelowReconfigFloor { transition, pe, floor });
+            }
+        }
+    }
+
+    let pruned_domain_ratio = if total_candidates == 0 {
+        0.0
+    } else {
+        pruned_candidates as f64 / total_candidates as f64
+    };
+    Analysis {
+        findings,
+        mode_bounds,
+        area_bounds,
+        power_lower_bound,
+        capable_pes,
+        pruned_domain_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use momsynth_gen::automotive::automotive_ecu;
+    use momsynth_gen::smartphone::smartphone;
+    use momsynth_model::ids::TaskId;
+    use momsynth_model::units::Volts;
+    use momsynth_model::{
+        ArchitectureBuilder, Cl, DvsCapability, Implementation, OmsmBuilder, Pe, PeKind,
+        TaskGraphBuilder, TechLibraryBuilder,
+    };
+
+    /// One CPU + one ASIC on a bus; type A runs on both (0.9 s / 0.01 s),
+    /// type B on the CPU only. One mode, period 1 s, task `a` then `b`.
+    fn cpu_asic_system(deadline_a: Option<Seconds>) -> System {
+        let mut tech = TechLibraryBuilder::new();
+        let ta = tech.add_type("A");
+        let tb = tech.add_type("B");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::from_milli(0.1)));
+        let asic = arch.add_pe(Pe::hardware(
+            "asic",
+            PeKind::Asic,
+            Cells::new(600),
+            Watts::from_milli(0.05),
+        ));
+        arch.add_cl(Cl::bus(
+            "bus",
+            vec![cpu, asic],
+            Seconds::from_micros(1.0),
+            Watts::from_milli(1.0),
+            Watts::from_milli(0.01),
+        ))
+        .unwrap();
+        tech.set_impl(ta, cpu, Implementation::software(Seconds::new(0.9), Watts::new(0.5)));
+        tech.set_impl(
+            ta,
+            asic,
+            Implementation::hardware(Seconds::new(0.01), Watts::new(0.005), Cells::new(240)),
+        );
+        tech.set_impl(tb, cpu, Implementation::software(Seconds::new(0.05), Watts::new(0.7)));
+        let mut g = TaskGraphBuilder::new("m", Seconds::new(1.0));
+        let a = match deadline_a {
+            Some(d) => g.add_task_with_deadline("a", ta, d),
+            None => g.add_task("a", ta),
+        };
+        let b = g.add_task("b", tb);
+        g.add_comm(a, b, 8.0).unwrap();
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        System::new("cpu-asic", omsm.build().unwrap(), arch.build().unwrap(), tech.build())
+            .unwrap()
+    }
+
+    fn codes(analysis: &Analysis) -> Vec<&'static str> {
+        analysis.findings().iter().map(Finding::code).collect()
+    }
+
+    /// Descends a serialized [`System`] tree by field names / array
+    /// indices, for building broken specifications that `System::new`
+    /// would reject but deserialization admits.
+    fn path_mut<'a>(
+        mut v: &'a mut serde_json::Value,
+        path: &[&str],
+    ) -> &'a mut serde_json::Value {
+        for seg in path {
+            v = match v {
+                serde_json::Value::Array(items) => &mut items[seg.parse::<usize>().unwrap()],
+                serde_json::Value::Object(fields) => {
+                    &mut fields.iter_mut().find(|(k, _)| k == seg).unwrap().1
+                }
+                other => panic!("cannot descend into {} at `{seg}`", other.kind()),
+            };
+        }
+        v
+    }
+
+    #[test]
+    fn smartphone_and_automotive_are_clean_of_errors() {
+        for system in [smartphone(), automotive_ecu()] {
+            let analysis = analyze_system(&system);
+            assert!(!analysis.has_errors(), "{}: {analysis}", system.name());
+            assert!(analysis.power_lower_bound() > Watts::ZERO);
+            assert_eq!(analysis.capable_pes().len(), system.omsm().total_task_count());
+            for (locus, pes) in analysis.capable_pes().iter().enumerate() {
+                assert!(!pes.is_empty(), "locus {locus} has no capable PE");
+            }
+            assert_eq!(analysis.mode_bounds().len(), system.omsm().mode_count());
+            for b in analysis.mode_bounds() {
+                assert!(b.critical_path_lb > Seconds::ZERO);
+                assert!(b.critical_path_lb <= b.period, "mode {}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn capable_pes_follow_genome_locus_order() {
+        let system = smartphone();
+        let analysis = analyze_system(&system);
+        for (locus, id) in system.global_tasks().enumerate() {
+            let full = system.candidate_pes(id);
+            for pe in &analysis.capable_pes()[locus] {
+                assert!(full.contains(pe), "locus {locus}: {pe} not a library candidate");
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_is_a_provable_error() {
+        let system = cpu_asic_system(Some(Seconds::new(1e-6)));
+        let analysis = analyze_system(&system);
+        assert!(analysis.has_errors());
+        assert!(codes(&analysis).contains(&"deadline-below-critical-path"), "{analysis}");
+        // All candidates of task `a` are dead, so the full list is kept
+        // for the fail-fast path rather than an empty domain.
+        assert_eq!(analysis.capable_pes()[0].len(), 2);
+    }
+
+    #[test]
+    fn exactly_tight_deadline_is_not_rejected() {
+        // Deadline exactly equal to the fastest finish floor: feasible.
+        let system = cpu_asic_system(Some(Seconds::new(0.01)));
+        let analysis = analyze_system(&system);
+        assert!(!analysis.has_errors(), "{analysis}");
+        // The slow CPU candidate (0.9 s) is provably late and pruned.
+        assert_eq!(analysis.capable_pes()[0], vec![PeId::new(1)]);
+    }
+
+    #[test]
+    fn provably_late_candidate_is_pruned_without_error() {
+        let system = cpu_asic_system(Some(Seconds::new(0.5)));
+        let analysis = analyze_system(&system);
+        assert!(!analysis.has_errors(), "{analysis}");
+        assert!(codes(&analysis).contains(&"gene-pruned"));
+        assert_eq!(analysis.capable_pes()[0], vec![PeId::new(1)]);
+        // 1 of 3 (task,PE) pairs pruned.
+        assert!((analysis.pruned_domain_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(analysis.count(Severity::Info), 1);
+    }
+
+    #[test]
+    fn unconstrained_system_prunes_nothing() {
+        let system = cpu_asic_system(None);
+        let analysis = analyze_system(&system);
+        assert!(analysis.is_clean(), "{analysis}");
+        assert_eq!(analysis.pruned_domain_ratio(), 0.0);
+        assert_eq!(analysis.capable_pes()[0], vec![PeId::new(0), PeId::new(1)]);
+    }
+
+    #[test]
+    fn power_lower_bound_prices_cheapest_implementation() {
+        let system = cpu_asic_system(None);
+        let analysis = analyze_system(&system);
+        // Task a: min energy = asic 0.005 W × 0.01 s; task b: cpu only,
+        // 0.7 W × 0.05 s. No DVS anywhere, period 1 s, probability 1.
+        let expected = (0.005 * 0.01 + 0.7 * 0.05) / 1.0;
+        assert!((analysis.power_lower_bound().value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dvs_scales_the_energy_floor() {
+        let mut tech = TechLibraryBuilder::new();
+        let ta = tech.add_type("A");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch.add_pe(
+            Pe::software("cpu", PeKind::Gpp, Watts::ZERO).with_dvs(DvsCapability::new(
+                Volts::new(3.3),
+                Volts::new(0.8),
+                vec![Volts::new(1.65), Volts::new(3.3)],
+            )),
+        );
+        tech.set_impl(ta, cpu, Implementation::software(Seconds::new(0.1), Watts::new(0.4)));
+        let mut g = TaskGraphBuilder::new("m", Seconds::new(1.0));
+        g.add_task("t", ta);
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        let system =
+            System::new("dvs", omsm.build().unwrap(), arch.build().unwrap(), tech.build())
+                .unwrap();
+        let analysis = analyze_system(&system);
+        // Energy floor: 0.4 W × 0.1 s × (1.65/3.3)² = 0.04 × 0.25.
+        assert!((analysis.power_lower_bound().value() - 0.04 * 0.25).abs() < 1e-12);
+        assert!(!analysis.has_errors());
+    }
+
+    #[test]
+    fn mutated_period_below_floor_is_an_error() {
+        let system = cpu_asic_system(None);
+        let mut v = serde_json::to_value(&system);
+        *path_mut(&mut v, &["omsm", "modes", "0", "graph", "period"]) =
+            serde_json::json!(1e-6);
+        let broken: System = serde_json::from_value(&v).unwrap();
+        let analysis = analyze_system(&broken);
+        assert!(analysis.has_errors());
+        assert!(codes(&analysis).contains(&"period-below-critical-path"), "{analysis}");
+    }
+
+    #[test]
+    fn mutated_library_row_yields_no_capable_pe() {
+        let system = cpu_asic_system(None);
+        let mut v = serde_json::to_value(&system);
+        // Erase every implementation of type B (index 1): its task now has
+        // no candidate PE. System::new would reject this; deserialisation
+        // bypasses it.
+        *path_mut(&mut v, &["tech", "impls", "1"]) = serde_json::json!([]);
+        let broken: System = serde_json::from_value(&v).unwrap();
+        let analysis = analyze_system(&broken);
+        assert!(analysis.has_errors());
+        assert!(codes(&analysis).contains(&"no-capable-pe"), "{analysis}");
+    }
+
+    #[test]
+    fn mutated_probability_mass_drifts() {
+        let system = smartphone();
+        let mut v = serde_json::to_value(&system);
+        *path_mut(&mut v, &["omsm", "modes", "0", "probability"]) = serde_json::json!(0.999);
+        let drifted: System = serde_json::from_value(&v).unwrap();
+        let analysis = analyze_system(&drifted);
+        assert!(codes(&analysis).contains(&"probability-mass-drift"), "{analysis}");
+        let finding = analysis
+            .findings()
+            .iter()
+            .find(|f| f.code() == "probability-mass-drift")
+            .unwrap();
+        assert_eq!(finding.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn mutated_smartphone_deadline_below_floor_is_an_error() {
+        let system = smartphone();
+        let mut v = serde_json::to_value(&system);
+        // Give the first task of the first mode a deadline no mapping can
+        // meet; the builders never see it, the analyzer must.
+        *path_mut(&mut v, &["omsm", "modes", "0", "graph", "tasks", "0", "deadline"]) =
+            serde_json::json!(1e-9);
+        let broken: System = serde_json::from_value(&v).unwrap();
+        let analysis = analyze_system(&broken);
+        assert!(analysis.has_errors());
+        assert!(codes(&analysis).contains(&"deadline-below-critical-path"), "{analysis}");
+        let finding = analysis
+            .findings()
+            .iter()
+            .find(|f| f.code() == "deadline-below-critical-path")
+            .unwrap();
+        assert_eq!(finding.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn mutated_automotive_library_row_yields_no_capable_pe() {
+        let system = automotive_ecu();
+        let mut v = serde_json::to_value(&system);
+        // Erase every implementation of the first task's type: that task
+        // can no longer be mapped anywhere.
+        let ty = system
+            .task_type_of(GlobalTaskId::new(
+                momsynth_model::ids::ModeId::new(0),
+                TaskId::new(0),
+            ))
+            .index()
+            .to_string();
+        *path_mut(&mut v, &["tech", "impls", &ty]) = serde_json::json!([]);
+        let broken: System = serde_json::from_value(&v).unwrap();
+        let analysis = analyze_system(&broken);
+        assert!(analysis.has_errors());
+        assert!(codes(&analysis).contains(&"no-capable-pe"), "{analysis}");
+        let finding =
+            analysis.findings().iter().find(|f| f.code() == "no-capable-pe").unwrap();
+        assert_eq!(finding.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn forced_types_bound_hardware_area() {
+        // Type H is implementable only on the ASIC and its core (700)
+        // exceeds the capacity (600): a provable area violation.
+        let mut tech = TechLibraryBuilder::new();
+        let th = tech.add_type("H");
+        let mut arch = ArchitectureBuilder::new();
+        let asic = arch.add_pe(Pe::hardware(
+            "asic",
+            PeKind::Asic,
+            Cells::new(600),
+            Watts::from_milli(0.05),
+        ));
+        tech.set_impl(
+            th,
+            asic,
+            Implementation::hardware(Seconds::new(0.01), Watts::new(0.01), Cells::new(700)),
+        );
+        let mut g = TaskGraphBuilder::new("m", Seconds::new(1.0));
+        g.add_task("h", th);
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        let system =
+            System::new("area", omsm.build().unwrap(), arch.build().unwrap(), tech.build())
+                .unwrap();
+        let analysis = analyze_system(&system);
+        assert!(analysis.has_errors());
+        assert!(codes(&analysis).contains(&"area-floor-exceeds-capacity"), "{analysis}");
+        assert_eq!(analysis.area_bounds().len(), 1);
+        assert_eq!(analysis.area_bounds()[0].floor, Cells::new(700));
+    }
+
+    #[test]
+    fn reconfigurable_area_floor_is_per_mode_maximum() {
+        // Two modes each force one 400-cell type onto a 600-cell FPGA.
+        // Statically that would need 800 cells, but the FPGA swaps cores
+        // between modes: the floor is max(400, 400), within capacity.
+        let mut tech = TechLibraryBuilder::new();
+        let t1 = tech.add_type("F1");
+        let t2 = tech.add_type("F2");
+        let mut arch = ArchitectureBuilder::new();
+        let fpga = arch.add_pe(Pe::hardware(
+            "fpga",
+            PeKind::Fpga,
+            Cells::new(600),
+            Watts::from_milli(0.05),
+        ));
+        for ty in [t1, t2] {
+            tech.set_impl(
+                ty,
+                fpga,
+                Implementation::hardware(Seconds::new(0.01), Watts::new(0.01), Cells::new(400)),
+            );
+        }
+        let graph = |name: &str, ty| {
+            let mut g = TaskGraphBuilder::new(name, Seconds::new(1.0));
+            g.add_task("t", ty);
+            g.build().unwrap()
+        };
+        let mut omsm = OmsmBuilder::new();
+        let m0 = omsm.add_mode("m0", 0.5, graph("m0", t1));
+        let m1 = omsm.add_mode("m1", 0.5, graph("m1", t2));
+        omsm.add_transition(m0, m1, Seconds::new(0.5)).unwrap();
+        omsm.add_transition(m1, m0, Seconds::new(0.5)).unwrap();
+        let system =
+            System::new("fpga", omsm.build().unwrap(), arch.build().unwrap(), tech.build())
+                .unwrap();
+        let analysis = analyze_system(&system);
+        assert!(!analysis.has_errors(), "{analysis}");
+        assert_eq!(analysis.area_bounds()[0].floor, Cells::new(400));
+    }
+
+    #[test]
+    fn tight_transition_time_is_flagged_against_reconfig_floor() {
+        // Reconfiguring the FPGA's smallest core takes 400 × 1 ms = 0.4 s,
+        // but the transitions allow only 1 ms.
+        let mut tech = TechLibraryBuilder::new();
+        let tf = tech.add_type("F");
+        let mut arch = ArchitectureBuilder::new();
+        let fpga = arch.add_pe(
+            Pe::hardware("fpga", PeKind::Fpga, Cells::new(600), Watts::from_milli(0.05))
+                .with_reconfig_time_per_cell(Seconds::from_millis(1.0)),
+        );
+        tech.set_impl(
+            tf,
+            fpga,
+            Implementation::hardware(Seconds::new(0.01), Watts::new(0.01), Cells::new(400)),
+        );
+        let graph = |name: &str| {
+            let mut g = TaskGraphBuilder::new(name, Seconds::new(1.0));
+            g.add_task("t", tf);
+            g.build().unwrap()
+        };
+        let mut omsm = OmsmBuilder::new();
+        let m0 = omsm.add_mode("m0", 0.5, graph("m0"));
+        let m1 = omsm.add_mode("m1", 0.5, graph("m1"));
+        omsm.add_transition(m0, m1, Seconds::from_millis(1.0)).unwrap();
+        omsm.add_transition(m1, m0, Seconds::from_millis(1.0)).unwrap();
+        let system =
+            System::new("recfg", omsm.build().unwrap(), arch.build().unwrap(), tech.build())
+                .unwrap();
+        let analysis = analyze_system(&system);
+        assert!(!analysis.has_errors(), "{analysis}");
+        assert_eq!(
+            codes(&analysis)
+                .iter()
+                .filter(|&&c| c == "transition-below-reconfig-floor")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn reachability_warnings_for_disconnected_omsm() {
+        let system = cpu_asic_system(None);
+        let mut v = serde_json::to_value(&system);
+        // Clone the single mode into a second, unconnected one.
+        let modes = path_mut(&mut v, &["omsm", "modes"]);
+        let serde_json::Value::Array(items) = modes else { panic!("modes is not an array") };
+        let mut second = items[0].clone();
+        *path_mut(&mut second, &["probability"]) = serde_json::json!(0.0);
+        items.push(second);
+        let disconnected: System = serde_json::from_value(&v).unwrap();
+        let analysis = analyze_system(&disconnected);
+        assert!(!analysis.has_errors(), "{analysis}");
+        // Both modes: unreachable (no incoming) and trapping (no outgoing).
+        assert_eq!(codes(&analysis).iter().filter(|&&c| c == "mode-unreachable").count(), 2);
+        assert_eq!(codes(&analysis).iter().filter(|&&c| c == "mode-trapping").count(), 2);
+    }
+
+    #[test]
+    fn severity_order_and_codes_are_stable() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        let f = Finding::TaskWithNoCapablePe { mode: ModeIdAlias::new(0), task: TaskId::new(0) };
+        assert_eq!(f.code(), "no-capable-pe");
+        assert_eq!(f.severity(), Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn report_renders_display_and_json() {
+        let system = cpu_asic_system(Some(Seconds::new(0.5)));
+        let analysis = analyze_system(&system);
+        let text = format!("{analysis}");
+        assert!(text.contains("p̄_LB"), "{text}");
+        assert!(text.contains("gene-pruned"), "{text}");
+        let json = analysis.to_json();
+        assert_eq!(json["clean"], serde_json::json!(false));
+        assert_eq!(json["errors"], serde_json::json!(0));
+        assert_eq!(json["infos"], serde_json::json!(1));
+        assert!(json["power_lower_bound_mw"].as_f64().unwrap() > 0.0);
+        assert_eq!(json["findings"][0]["code"], serde_json::json!("gene-pruned"));
+        assert_eq!(json["modes"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn exceeds_uses_relative_epsilon() {
+        assert!(!exceeds(Seconds::new(1.0), Seconds::new(1.0)));
+        assert!(!exceeds(Seconds::new(1.0 + 1e-13), Seconds::new(1.0)));
+        assert!(exceeds(Seconds::new(1.0 + 1e-6), Seconds::new(1.0)));
+        assert!(exceeds(Seconds::new(1e-9), Seconds::ZERO));
+    }
+
+    use momsynth_model::ids::ModeId as ModeIdAlias;
+}

@@ -54,6 +54,16 @@ struct PerfWorkload {
     /// Whether every thread count produced the same best mapping and
     /// fitness (it must — the parallel path is bit-deterministic).
     identical_best: bool,
+    /// Fraction of (task, candidate PE) pairs the static analyzer pruned
+    /// from the genome domain.
+    pruned_domain_ratio: f64,
+    /// Serial wall time with static domain pruning on (the default).
+    wall_time_pruning_on_s: f64,
+    /// Serial wall time of an extra run with `prune_domains` disabled.
+    wall_time_pruning_off_s: f64,
+    /// Whether the pruning-on and pruning-off runs found the same best
+    /// cost (pruning only removes provably infeasible genes).
+    pruning_identical_best: bool,
     rows: Vec<PerfRow>,
 }
 
@@ -81,6 +91,7 @@ fn bench_workload(
     let mut identical_best = true;
     let mut serial_time = 0.0;
     let mut serial_best: Option<(f64, f64)> = None; // (fitness, power)
+    let mut pruned_domain_ratio = 0.0;
     for threads in [1, PARALLEL_THREADS] {
         let mut cfg = options.config(seed, true, dvs);
         cfg.threads = threads;
@@ -99,6 +110,7 @@ fn bench_workload(
             None => {
                 serial_time = wall;
                 serial_best = Some((result.best.fitness, result.best.power.average.as_milli()));
+                pruned_domain_ratio = result.pruned_domain_ratio;
             }
             Some((fitness, _)) => {
                 if result.best.fitness != fitness {
@@ -118,21 +130,41 @@ fn bench_workload(
             verified,
         });
     }
+    // An extra serial run with static domain pruning disabled, to record
+    // what the pruned genome domains buy (or cost) in GA wall time.
+    let mut cfg = options.config(seed, true, dvs);
+    cfg.threads = 1;
+    cfg.prune_domains = false;
+    let synthesizer = Synthesizer::new(system, cfg);
+    let start = Instant::now();
+    let unpruned = synthesizer.run().expect("schedulable system");
+    let wall_time_pruning_off_s = start.elapsed().as_secs_f64();
+    let pruning_identical_best = serial_best
+        .is_some_and(|(_, power)| (unpruned.best.power.average.as_milli() - power).abs() < 1e-9);
+
     println!(
-        "{:<14} serial {:>7.2}s, {}x {:>7.2}s — speedup {:.2}x, hit rate {:.1}%{}",
+        "{:<14} serial {:>7.2}s, {}x {:>7.2}s — speedup {:.2}x, hit rate {:.1}%, \
+         pruned {:.1}% (off: {:>7.2}s){}{}",
         system.name(),
         rows[0].wall_time_s,
         PARALLEL_THREADS,
         rows[1].wall_time_s,
         rows[1].speedup_vs_serial,
         rows[1].cache_hit_rate * 100.0,
+        pruned_domain_ratio * 100.0,
+        wall_time_pruning_off_s,
         if identical_best { "" } else { "  BEST SOLUTIONS DIFFER" },
+        if pruning_identical_best { "" } else { "  PRUNING CHANGED THE BEST" },
     );
     PerfWorkload {
         system: system.name().to_owned(),
         dvs,
         seed,
         identical_best,
+        pruned_domain_ratio,
+        wall_time_pruning_on_s: rows[0].wall_time_s,
+        wall_time_pruning_off_s,
+        pruning_identical_best,
         rows,
     }
 }

@@ -49,6 +49,9 @@ pub struct ComparisonRow {
     pub time_aware_s: f64,
     /// Fraction of runs whose best solution met all constraints.
     pub feasible_fraction: f64,
+    /// Mean relative optimality gap `(p̄ − p̄_LB)/p̄_LB` of the aware
+    /// flow's runs against the static power lower bound, in percent.
+    pub optimality_gap_percent: f64,
     /// Whether every run behind this row passed the independent
     /// `momsynth-check` re-verification. Unverified rows must not be
     /// persisted — see [`retain_verified`].
@@ -156,11 +159,12 @@ pub fn compare_flows_detailed(
     options: &HarnessOptions,
 ) -> (ComparisonRow, Vec<RunSummary>) {
     let mut summaries = Vec::new();
-    let mut run_flow = |aware: bool| -> (f64, f64, u64, bool) {
+    let mut run_flow = |aware: bool| -> (f64, f64, u64, bool, f64) {
         let mut power_sum = 0.0;
         let mut time_sum = 0.0;
         let mut feasible = 0u64;
         let mut verified = true;
+        let mut gap_sum = 0.0;
         for i in 0..options.runs {
             let cfg = options.config(options.base_seed + i, aware, dvs);
             let synthesizer = Synthesizer::new(system, cfg);
@@ -171,17 +175,21 @@ pub fn compare_flows_detailed(
             if result.best.is_feasible() {
                 feasible += 1;
             }
+            let lb = result.power_lower_bound;
+            if lb.value() > 0.0 {
+                gap_sum += (result.best.power.average - lb) / lb;
+            }
             match verified_summary(system, &synthesizer, &result) {
                 Some(summary) => summaries.push(summary),
                 None => verified = false,
             }
         }
         let n = options.runs as f64;
-        (power_sum / n, time_sum / n, feasible, verified)
+        (power_sum / n, time_sum / n, feasible, verified, gap_sum / n)
     };
 
-    let (power_neglecting_mw, time_neglecting_s, feas_n, ver_n) = run_flow(false);
-    let (power_aware_mw, time_aware_s, feas_a, ver_a) = run_flow(true);
+    let (power_neglecting_mw, time_neglecting_s, feas_n, ver_n, _) = run_flow(false);
+    let (power_aware_mw, time_aware_s, feas_a, ver_a, gap_a) = run_flow(true);
     let row = ComparisonRow {
         name: system.name().to_owned(),
         modes: system.omsm().mode_count(),
@@ -190,6 +198,7 @@ pub fn compare_flows_detailed(
         power_aware_mw,
         time_aware_s,
         feasible_fraction: (feas_n + feas_a) as f64 / (2 * options.runs) as f64,
+        optimality_gap_percent: gap_a * 100.0,
         verified: ver_n && ver_a,
     };
     (row, summaries)
@@ -242,7 +251,7 @@ pub fn render_table(title: &str, rows: &[ComparisonRow]) -> String {
     writeln!(out, "{title}").unwrap();
     writeln!(
         out,
-        "{:<14} {:>6} | {:>14} {:>10} | {:>14} {:>10} | {:>8} {:>6}",
+        "{:<14} {:>6} | {:>14} {:>10} | {:>14} {:>10} | {:>8} {:>8} {:>6}",
         "Example",
         "modes",
         "p (w/o) [mW]",
@@ -250,14 +259,15 @@ pub fn render_table(title: &str, rows: &[ComparisonRow]) -> String {
         "p (with) [mW]",
         "CPU [s]",
         "Red. %",
+        "Gap %",
         "feas"
     )
     .unwrap();
-    writeln!(out, "{}", "-".repeat(100)).unwrap();
+    writeln!(out, "{}", "-".repeat(109)).unwrap();
     for row in rows {
         writeln!(
             out,
-            "{:<14} {:>6} | {:>14.4} {:>10.2} | {:>14.4} {:>10.2} | {:>8.2} {:>6.2}",
+            "{:<14} {:>6} | {:>14.4} {:>10.2} | {:>14.4} {:>10.2} | {:>8.2} {:>8.2} {:>6.2}",
             row.name,
             row.modes,
             row.power_neglecting_mw,
@@ -265,6 +275,7 @@ pub fn render_table(title: &str, rows: &[ComparisonRow]) -> String {
             row.power_aware_mw,
             row.time_aware_s,
             row.reduction_percent(),
+            row.optimality_gap_percent,
             row.feasible_fraction,
         )
         .unwrap();
@@ -275,7 +286,7 @@ pub fn render_table(title: &str, rows: &[ComparisonRow]) -> String {
         .iter()
         .map(ComparisonRow::reduction_percent)
         .fold(f64::NEG_INFINITY, f64::max);
-    writeln!(out, "{}", "-".repeat(100)).unwrap();
+    writeln!(out, "{}", "-".repeat(109)).unwrap();
     writeln!(out, "mean reduction {mean:.2} %, max reduction {max:.2} %").unwrap();
     out
 }
@@ -321,6 +332,7 @@ mod tests {
             power_aware_mw: 7.5,
             time_aware_s: 1.0,
             feasible_fraction: 1.0,
+            optimality_gap_percent: 50.0,
             verified: true,
         };
         assert!((row.reduction_percent() - 25.0).abs() < 1e-12);
@@ -336,6 +348,7 @@ mod tests {
             power_aware_mw: 1.0,
             time_aware_s: 0.0,
             feasible_fraction: 1.0,
+            optimality_gap_percent: 0.0,
             verified,
         };
         let mut rows = vec![row("good", true), row("bad", false), row("also_good", true)];
@@ -370,6 +383,12 @@ mod tests {
         assert_eq!(summaries[0].system, row.name);
         assert!((summaries[1].average_power_mw - row.power_aware_mw).abs() < 1e-9);
         assert!(row.verified, "genuine runs must pass re-verification");
+        assert!(
+            row.optimality_gap_percent >= 0.0,
+            "a sound lower bound never exceeds an achieved power: {}",
+            row.optimality_gap_percent
+        );
+        assert!(summaries.iter().all(|s| s.optimality_gap >= 0.0 && s.power_lower_bound_mw > 0.0));
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub enum Command {
         /// What to render.
         what: DotTarget,
     },
-    /// `generate [--preset mulN|smartphone | --seed S --modes M ...]
+    /// `generate [--preset mulN|smartphone|automotive | --seed S --modes M ...]
     /// [-o out.json]`.
     Generate {
         /// Named preset, if chosen.
@@ -86,6 +86,14 @@ pub enum Command {
         /// Silence all human chatter on stdout/stderr.
         quiet: bool,
     },
+    /// `analyze <system.json> [--report-out report.json]` — pre-synthesis
+    /// static feasibility analysis with provable bounds.
+    Analyze {
+        /// Path of the system specification.
+        path: String,
+        /// Where to write the JSON analysis report.
+        report_out: Option<String>,
+    },
     /// `check <system.json> <solution.json> [--report-out report.json]` —
     /// independently re-verify a finished solution against every paper
     /// constraint.
@@ -108,6 +116,8 @@ pub enum GeneratePreset {
     Mul(usize),
     /// The smartphone example (paper Table 2 flavour).
     Smartphone,
+    /// The automotive ECU example (paper Table 3 flavour).
+    Automotive,
 }
 
 /// What the `dot` subcommand renders.
@@ -200,19 +210,22 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 match args[i].as_str() {
                     "--preset" => {
                         let v = take_value(args, &mut i, "--preset")?;
-                        preset = Some(if v == "smartphone" {
-                            GeneratePreset::Smartphone
-                        } else {
-                            let n = v
-                                .strip_prefix("mul")
-                                .and_then(|n| n.parse().ok())
-                                .filter(|n| (1..=12).contains(n))
-                                .ok_or_else(|| {
-                                    ParseError(format!(
-                                        "unknown preset `{v}` (use mul1..mul12 or smartphone)"
-                                    ))
-                                })?;
-                            GeneratePreset::Mul(n)
+                        preset = Some(match v {
+                            "smartphone" => GeneratePreset::Smartphone,
+                            "automotive" => GeneratePreset::Automotive,
+                            _ => {
+                                let n = v
+                                    .strip_prefix("mul")
+                                    .and_then(|n| n.parse().ok())
+                                    .filter(|n| (1..=12).contains(n))
+                                    .ok_or_else(|| {
+                                        ParseError(format!(
+                                            "unknown preset `{v}` (use mul1..mul12, smartphone \
+                                             or automotive)"
+                                        ))
+                                    })?;
+                                GeneratePreset::Mul(n)
+                            }
                         });
                     }
                     "--seed" => {
@@ -357,6 +370,24 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 quiet,
             })
         }
+        "analyze" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| ParseError("analyze requires a system file".into()))?
+                .clone();
+            let mut report_out = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--report-out" => {
+                        report_out = Some(take_value(args, &mut i, "--report-out")?.to_owned());
+                    }
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Analyze { path, report_out })
+        }
         "check" => {
             let path = args
                 .get(1)
@@ -394,7 +425,7 @@ COMMANDS:
     info <system.json>       summarise a system specification
     lint <system.json>       report specification diagnostics
     dot <system.json>        export Graphviz (--what omsm|arch|mode:<n>)
-    generate                 emit a system (--preset mul1..mul12|smartphone
+    generate                 emit a system (--preset mul1..mul12|smartphone|automotive
                              | --seed S --modes M) [-o file]
     convert <spec.tgff>      import a TGFF-dialect specification [-o file]
     synth <system.json>      run co-synthesis (--dvs,
@@ -406,10 +437,20 @@ COMMANDS:
                              --trace-out events.jsonl,
                              --metrics-out summary.json,
                              --progress, --quiet)
+    analyze <system.json>    pre-synthesis static feasibility analysis
+                             with provable bounds [--report-out report.json]
     check <system.json> <solution.json>
                              re-verify a synthesis result against every
                              paper constraint [--report-out report.json]
     help                     show this text
+
+ANALYZE:
+    Computes provable pre-synthesis bounds from the specification alone:
+    per-mode critical-path lower bounds against deadlines and periods,
+    hardware area floors from must-be-hardware task types, a
+    probability-weighted Eq. 1 power lower bound p̄_LB, mode-transition
+    reconfiguration floors and OMSM reachability. Exit code 2 when the
+    specification is provably infeasible (any error finding).
 
 CHECK:
     Re-derives mapping feasibility, schedule legality, deadline/period
@@ -442,7 +483,7 @@ EXIT CODES:
     0  success, best solution feasible / check found no violations
     1  usage, load or synthesis error
     2  finished, but the best solution violates constraints / check
-       found violations
+       found violations / analyze proved the specification infeasible
     3  cancelled (Ctrl-C); best-so-far solution was reported
 ";
 
@@ -509,6 +550,16 @@ mod tests {
             cmd,
             Command::Generate {
                 preset: Some(GeneratePreset::Smartphone),
+                seed: 1,
+                modes: 4,
+                output: "-".into()
+            }
+        );
+        let cmd = parse(&argv("generate --preset automotive")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                preset: Some(GeneratePreset::Automotive),
                 seed: 1,
                 modes: 4,
                 output: "-".into()
@@ -650,6 +701,21 @@ mod tests {
         assert!(parse(&argv("check")).is_err());
         assert!(parse(&argv("check sys.json sol.json --report-out")).is_err());
         assert!(parse(&argv("check sys.json sol.json --bogus")).is_err());
+    }
+
+    #[test]
+    fn analyze_parses() {
+        assert_eq!(
+            parse(&argv("analyze sys.json")).unwrap(),
+            Command::Analyze { path: "sys.json".into(), report_out: None }
+        );
+        assert_eq!(
+            parse(&argv("analyze sys.json --report-out rep.json")).unwrap(),
+            Command::Analyze { path: "sys.json".into(), report_out: Some("rep.json".into()) }
+        );
+        assert!(parse(&argv("analyze")).is_err());
+        assert!(parse(&argv("analyze sys.json --report-out")).is_err());
+        assert!(parse(&argv("analyze sys.json --bogus")).is_err());
     }
 
     #[test]

@@ -22,7 +22,8 @@ use std::process::ExitCode;
 use momsynth_check::StoredSolution;
 use momsynth_core::telemetry::{Fanout, JsonlSink, ProgressSink, Sink, WarningSink};
 use momsynth_core::{
-    Checkpoint, CheckpointSpec, StopReason, SynthControl, SynthesisConfig, Synthesizer,
+    Checkpoint, CheckpointSpec, StopReason, SynthControl, SynthesisConfig, SynthesisError,
+    Synthesizer,
 };
 use momsynth_gen::suite::{generate, mul, GeneratorParams};
 use momsynth_model::{dot, lint, System};
@@ -191,6 +192,7 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             let system = match preset {
                 Some(GeneratePreset::Mul(n)) => mul(n),
                 Some(GeneratePreset::Smartphone) => momsynth_gen::smartphone::smartphone(),
+                Some(GeneratePreset::Automotive) => momsynth_gen::automotive::automotive_ecu(),
                 None => {
                     let mut params = GeneratorParams::new(format!("generated_{seed}"), seed);
                     params.modes = modes;
@@ -201,6 +203,19 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             write_output(&output, &json, false)?;
             eprintln!("{}", system.summary());
             Ok(ExitCode::SUCCESS)
+        }
+        Command::Analyze { path, report_out } => {
+            let system = load_system(&path)?;
+            let analysis = momsynth_analyze::analyze_system(&system);
+            println!("{analysis}");
+            if let Some(p) = &report_out {
+                write_output(p, &serde_json::to_string_pretty(&analysis.to_json())?, false)?;
+            }
+            Ok(if analysis.has_errors() {
+                ExitCode::from(EXIT_INFEASIBLE)
+            } else {
+                ExitCode::SUCCESS
+            })
         }
         Command::Check { path, solution, report_out } => {
             let system = load_system(&path)?;
@@ -298,7 +313,21 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 );
             }
             let synthesizer = Synthesizer::new(&system, config);
-            let result = synthesizer.run_controlled(control)?;
+            let result = match synthesizer.run_controlled(control) {
+                Ok(result) => result,
+                Err(SynthesisError::Infeasible(analysis)) => {
+                    // The pre-synthesis analyzer proved no implementation
+                    // can meet the constraints; report the proof instead
+                    // of a solution and exit like an infeasible best.
+                    sink.flush();
+                    if !quiet {
+                        eprintln!("specification is provably infeasible; synthesis not started");
+                        print!("{analysis}");
+                    }
+                    return Ok(ExitCode::from(EXIT_INFEASIBLE));
+                }
+                Err(e) => return Err(e.into()),
+            };
             sink.flush();
             if !quiet {
                 print_solution(&system, &result);
@@ -363,6 +392,15 @@ fn print_solution(system: &System, result: &momsynth_core::SynthesisResult) {
         result.wall_time.as_secs_f64(),
     );
     println!("stopped: {} ({} rejected evaluations)", result.stop_reason, result.rejected);
+    if result.power_lower_bound.value() > 0.0 {
+        println!(
+            "static bound: p̄_LB {:.6} mW, optimality gap {:.1} %, pruned domain {:.1} %",
+            result.power_lower_bound.as_milli(),
+            (result.best.power.average - result.power_lower_bound) / result.power_lower_bound
+                * 100.0,
+            result.pruned_domain_ratio * 100.0,
+        );
+    }
     println!("mapping: {}", result.best.mapping.mapping_string());
     print!("{}", result.best.power);
 

@@ -145,8 +145,9 @@ fn usage_errors_exit_with_code_1() {
     assert_eq!(momsynth(&["synth", "s.json", "--max-seconds", "nope"]).status.code(), Some(1));
 }
 
-/// A single 10 ms software task against a 1 ms period: synthesis finishes
-/// but no mapping can be feasible, so `synth` must exit with code 2.
+/// A single 10 ms software task against a 1 ms period: the static
+/// analyzer proves no mapping can be feasible, so `synth` must fail fast
+/// with exit code 2 and `analyze` must report the same proof.
 fn infeasible_system_json() -> String {
     use momsynth_model::units::{Seconds, Watts};
     use momsynth_model::{
@@ -180,9 +181,42 @@ fn infeasible_best_solution_exits_with_code_2() {
     std::fs::write(&sys_path, infeasible_system_json()).expect("write");
     let out = momsynth(&["synth", sys_path.to_str().expect("utf-8"), "--quick"]);
     assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("provably infeasible"), "{}", stderr(&out));
+    assert!(stdout(&out).contains("period-below-critical-path"), "{}", stdout(&out));
+    std::fs::remove_file(&sys_path).ok();
+}
+
+#[test]
+fn analyze_reports_infeasibility_with_code_2() {
+    let sys_path = tmp_file("analyze_infeasible.json");
+    let report_path = tmp_file("analyze_infeasible_report.json");
+    std::fs::write(&sys_path, infeasible_system_json()).expect("write");
+    let out = momsynth(&[
+        "analyze",
+        sys_path.to_str().expect("utf-8"),
+        "--report-out",
+        report_path.to_str().expect("utf-8"),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
     let text = stdout(&out);
-    assert!(text.contains("feasible: false"), "{text}");
-    assert!(text.contains("stopped:"), "{text}");
+    assert!(text.contains("period-below-critical-path"), "{text}");
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_path).expect("report written"))
+            .expect("valid JSON report");
+    assert_eq!(report.get("clean").and_then(|v| v.as_bool()), Some(false));
+    std::fs::remove_file(&sys_path).ok();
+    std::fs::remove_file(&report_path).ok();
+}
+
+#[test]
+fn analyze_accepts_a_feasible_system() {
+    let sys_path = tmp_file("analyze_feasible.json");
+    let sys_str = sys_path.to_str().expect("utf-8");
+    let out = momsynth(&["generate", "--preset", "smartphone", "-o", sys_str]);
+    assert!(out.status.success());
+    let out = momsynth(&["analyze", sys_str]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("p̄_LB"), "{}", stdout(&out));
     std::fs::remove_file(&sys_path).ok();
 }
 

@@ -168,6 +168,12 @@ pub struct SynthesisConfig {
     /// shards); `0` disables caching. Sound because the fitness is a
     /// pure function of the genome.
     pub cache_capacity: usize,
+    /// Build the genome from the statically pruned capable-PE domains of
+    /// the pre-synthesis analyzer, so mutation and crossover never
+    /// generate a gene that provably violates a deadline or period.
+    /// Pruning only removes provably infeasible genes; it never changes
+    /// which solutions are reachable.
+    pub prune_domains: bool,
 }
 
 impl SynthesisConfig {
@@ -186,6 +192,7 @@ impl SynthesisConfig {
             verify_each_generation: cfg!(debug_assertions),
             threads: 1,
             cache_capacity: 4096,
+            prune_domains: true,
         }
     }
 
@@ -245,6 +252,7 @@ mod tests {
         assert!(cfg.weights.timing > 0.0);
         assert_eq!(cfg.threads, 1, "parallelism is opt-in");
         assert!(cfg.cache_capacity > 0, "caching defaults on");
+        assert!(cfg.prune_domains, "static domain pruning defaults on");
     }
 
     #[test]

@@ -31,13 +31,47 @@ impl GenomeLayout {
     /// [`System::new`], so unreachable for valid systems) or if a candidate
     /// list exceeds [`Gene`] range.
     pub fn new(system: &System) -> Self {
+        Self::build(system, |_, id| system.candidate_pes(id))
+    }
+
+    /// Builds the layout for `system` with externally supplied per-locus
+    /// candidate domains — typically the statically pruned capable-PE
+    /// sets of `momsynth-analyze`, in the same `(mode, task)` locus
+    /// order. Mutation and crossover then never generate a gene outside
+    /// its proven domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains` has the wrong length, contains an empty
+    /// domain, lists a PE that is not a library candidate for its task,
+    /// or exceeds [`Gene`] range.
+    pub fn with_domains(system: &System, domains: &[Vec<PeId>]) -> Self {
+        assert_eq!(
+            domains.len(),
+            system.omsm().total_task_count(),
+            "domain count must match the total task count"
+        );
+        Self::build(system, |locus, id| {
+            let domain = domains[locus].clone();
+            debug_assert!(
+                {
+                    let full = system.candidate_pes(id);
+                    domain.iter().all(|pe| full.contains(pe))
+                },
+                "domain of task {id} lists a PE outside its candidate list"
+            );
+            domain
+        })
+    }
+
+    fn build(system: &System, mut candidates_of: impl FnMut(usize, GlobalTaskId) -> Vec<PeId>) -> Self {
         let mut entries = Vec::with_capacity(system.omsm().total_task_count());
         let mut mode_offsets = Vec::with_capacity(system.omsm().mode_count());
         for (mode, m) in system.omsm().modes() {
             mode_offsets.push(entries.len());
             for task in m.graph().task_ids() {
                 let id = GlobalTaskId::new(mode, task);
-                let candidates = system.candidate_pes(id);
+                let candidates = candidates_of(entries.len(), id);
                 assert!(!candidates.is_empty(), "task {id} has no candidate PEs");
                 assert!(
                     candidates.len() <= Gene::MAX as usize,
@@ -87,17 +121,25 @@ impl GenomeLayout {
         self.mode_offsets[mode.index()] + task.index()
     }
 
-    /// Decodes a genome into a [`SystemMapping`]. Out-of-range alleles are
-    /// clamped to the last candidate (cannot occur for genes produced by
-    /// the engine, but keeps decoding total).
+    /// Decodes a genome into a [`SystemMapping`]. In release builds
+    /// out-of-range alleles are clamped to the last candidate (cannot
+    /// occur for genes produced by the engine, but keeps decoding total);
+    /// debug builds assert instead, catching mapping-string corruption at
+    /// the source rather than as a constructive-loop penalty.
     ///
     /// # Panics
     ///
-    /// Panics if `genes.len()` differs from [`GenomeLayout::len`].
+    /// Panics if `genes.len()` differs from [`GenomeLayout::len`], and in
+    /// debug builds if an allele is outside its locus's candidate domain.
     pub fn decode(&self, genes: &[Gene]) -> SystemMapping {
         assert_eq!(genes.len(), self.entries.len(), "genome length mismatch");
         let mut per_mode: Vec<Vec<PeId>> = vec![Vec::new(); self.mode_offsets.len()];
-        for ((id, candidates), &gene) in self.entries.iter().zip(genes) {
+        for (locus, ((id, candidates), &gene)) in self.entries.iter().zip(genes).enumerate() {
+            debug_assert!(
+                (gene as usize) < candidates.len(),
+                "gene {gene} at locus {locus} is outside the candidate domain (len {})",
+                candidates.len()
+            );
             let idx = (gene as usize).min(candidates.len() - 1);
             per_mode[id.mode.index()].push(candidates[idx]);
         }
@@ -125,13 +167,19 @@ impl GenomeLayout {
     }
 
     /// Looks up the PE a gene encodes at a locus (with the same clamping
-    /// as [`GenomeLayout::decode`]).
+    /// — and debug-build domain assertion — as [`GenomeLayout::decode`]).
     ///
     /// # Panics
     ///
-    /// Panics if `locus` is out of range.
+    /// Panics if `locus` is out of range, and in debug builds if `gene`
+    /// is outside the locus's candidate domain.
     pub fn pe_at(&self, locus: usize, gene: Gene) -> PeId {
         let candidates = &self.entries[locus].1;
+        debug_assert!(
+            (gene as usize) < candidates.len(),
+            "gene {gene} at locus {locus} is outside the candidate domain (len {})",
+            candidates.len()
+        );
         candidates[(gene as usize).min(candidates.len() - 1)]
     }
 }
@@ -203,13 +251,49 @@ mod tests {
         assert!(mapping.validate(&system).is_ok());
     }
 
+    #[cfg(not(debug_assertions))]
     #[test]
-    fn out_of_range_gene_is_clamped() {
+    fn out_of_range_gene_is_clamped_in_release() {
         let system = sys();
         let layout = GenomeLayout::new(&system);
         let mapping = layout.decode(&[9, 9, 9]);
         assert!(mapping.validate(&system).is_ok());
         assert_eq!(mapping.pe_of(ModeId::new(0), TaskId::new(1)), PeId::new(0));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outside the candidate domain")]
+    fn out_of_range_gene_asserts_in_debug() {
+        let system = sys();
+        let layout = GenomeLayout::new(&system);
+        let _ = layout.decode(&[9, 9, 9]);
+    }
+
+    #[test]
+    fn with_domains_restricts_candidates() {
+        let system = sys();
+        let domains = vec![vec![PeId::new(1)], vec![PeId::new(0)], vec![PeId::new(0)]];
+        let layout = GenomeLayout::with_domains(&system, &domains);
+        assert_eq!(layout.candidates(0), &[PeId::new(1)]);
+        let mapping = layout.decode(&[0, 0, 0]);
+        assert_eq!(mapping.pe_of(ModeId::new(0), TaskId::new(0)), PeId::new(1));
+        assert!(mapping.validate(&system).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "domain count")]
+    fn with_domains_rejects_wrong_length() {
+        let system = sys();
+        let _ = GenomeLayout::with_domains(&system, &[vec![PeId::new(0)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate PEs")]
+    fn with_domains_rejects_empty_domain() {
+        let system = sys();
+        let domains = vec![vec![], vec![PeId::new(0)], vec![PeId::new(0)]];
+        let _ = GenomeLayout::with_domains(&system, &domains);
     }
 
     #[test]
@@ -227,7 +311,7 @@ mod tests {
         let system = sys();
         let layout = GenomeLayout::new(&system);
         assert_eq!(layout.pe_at(0, 1), PeId::new(1));
-        assert_eq!(layout.pe_at(1, 7), PeId::new(0));
+        assert_eq!(layout.pe_at(1, 0), PeId::new(0));
     }
 
     #[test]

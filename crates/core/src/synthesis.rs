@@ -35,7 +35,9 @@ use std::time::{Duration, Instant};
 
 use rand::{Rng, RngCore};
 
+use momsynth_analyze::{analyze_system, Analysis, Severity};
 use momsynth_ga::{GaConfig, GaProblem, GaSnapshot, RunControl, StopReason, REJECTED_COST};
+use momsynth_model::units::Watts;
 use momsynth_model::System;
 use momsynth_telemetry::{
     CounterSet, Counters, Event, ModeSummary, PhaseTiming, RunStart, RunSummary, Sink, Warning,
@@ -74,6 +76,14 @@ pub struct SynthesisResult {
     /// Per-phase wall-clock breakdown of the inner loop. Empty unless a
     /// trace-enabled sink was attached to the run.
     pub phase_timings: Vec<PhaseTiming>,
+    /// Provable Eq. 1 power lower bound p̄_LB computed by the
+    /// pre-synthesis static analyzer. The reported average power of any
+    /// verifier-accepted solution is at least this value.
+    pub power_lower_bound: Watts,
+    /// Fraction of (task, candidate PE) pairs the static analyzer proved
+    /// infeasible and removed from the genome domain; `0.0` when
+    /// [`SynthesisConfig::prune_domains`] is off.
+    pub pruned_domain_ratio: f64,
 }
 
 impl SynthesisResult {
@@ -96,6 +106,12 @@ impl SynthesisResult {
             })
             .collect();
         let wall = self.wall_time.as_secs_f64();
+        let lb = self.power_lower_bound;
+        let optimality_gap = if lb.value() > 0.0 && self.best.power.average.value().is_finite() {
+            (self.best.power.average - lb) / lb
+        } else {
+            0.0
+        };
         RunSummary {
             system: system.name().to_owned(),
             probability_aware: config.probability_aware,
@@ -112,6 +128,8 @@ impl SynthesisResult {
             evals_per_sec: if wall > 0.0 { self.evaluations as f64 / wall } else { 0.0 },
             threads: config.effective_threads() as u64,
             cache_hit_rate: self.counters.cache_hit_rate(),
+            power_lower_bound_mw: lb.as_milli(),
+            optimality_gap,
             counters: self.counters.clone(),
             phases: self.phase_timings.clone(),
         }
@@ -119,8 +137,14 @@ impl SynthesisResult {
 }
 
 /// A synthesis run failed in a way no fallback could absorb.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SynthesisError {
+    /// The pre-synthesis static analyzer proved the specification
+    /// infeasible — some constraint is violated by *every* candidate
+    /// implementation (a deadline below the critical-path floor, a task
+    /// with no capable PE, a hardware area floor above capacity) — so the
+    /// GA never started. The carried [`Analysis`] lists the proofs.
+    Infeasible(Box<Analysis>),
     /// Neither the GA's winner nor the all-software fallback mapping
     /// could be scheduled — the system specification admits no routable
     /// implementation (or the evaluator fails persistently).
@@ -137,6 +161,22 @@ pub enum SynthesisError {
 impl std::fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            Self::Infeasible(analysis) => {
+                write!(
+                    f,
+                    "specification is provably infeasible ({} error finding(s)): ",
+                    analysis.count(Severity::Error)
+                )?;
+                let mut first = true;
+                for finding in analysis.errors() {
+                    if !first {
+                        write!(f, "; ")?;
+                    }
+                    first = false;
+                    write!(f, "{finding}")?;
+                }
+                Ok(())
+            }
             Self::Unschedulable { best, fallback } => write!(
                 f,
                 "no schedulable implementation: best genome failed ({best}), \
@@ -466,7 +506,25 @@ impl<'a> Synthesizer<'a> {
         let start = Instant::now();
         let sink = control.sink;
         let trace = sink.is_some_and(momsynth_telemetry::Sink::enabled);
-        let layout = GenomeLayout::new(self.system);
+        // Static feasibility pass: fail fast on proven infeasibility, and
+        // (optionally) shrink the genome domains to the candidates the
+        // analyzer could not rule out. Pruning only removes provably
+        // infeasible genes, so it never changes the reachable optimum.
+        let analysis = analyze_system(self.system);
+        if analysis.has_errors() {
+            return Err(SynthesisError::Infeasible(Box::new(analysis)));
+        }
+        let power_lower_bound = analysis.power_lower_bound();
+        let pruned_domain_ratio = if self.config.prune_domains {
+            analysis.pruned_domain_ratio()
+        } else {
+            0.0
+        };
+        let layout = if self.config.prune_domains {
+            GenomeLayout::with_domains(self.system, analysis.capable_pes())
+        } else {
+            GenomeLayout::new(self.system)
+        };
         let mut evaluator = Evaluator::new(self.system, &self.config);
         if trace {
             evaluator.enable_phase_timing();
@@ -511,6 +569,8 @@ impl<'a> Synthesizer<'a> {
                     modes: self.system.omsm().mode_count() as u64,
                     genome_len: layout.len() as u64,
                     resumed_generation: resume.as_ref().map(|s| s.generation as u64),
+                    power_lower_bound_mw: power_lower_bound.as_milli(),
+                    pruned_domain_ratio,
                 }));
             }
         }
@@ -663,6 +723,8 @@ impl<'a> Synthesizer<'a> {
             wall_time: start.elapsed(),
             counters,
             phase_timings: evaluator.phase_timings(),
+            power_lower_bound,
+            pruned_domain_ratio,
         };
         if let Some(sink) = sink {
             if sink.enabled() {

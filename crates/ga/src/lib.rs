@@ -91,7 +91,15 @@ pub trait GaProblem {
 
     /// Samples a random gene for the given locus; used for initialisation
     /// and mutation. Loci may have different domains (e.g. per-task
-    /// candidate PE lists).
+    /// candidate PE lists, possibly pruned by a static pre-analysis).
+    ///
+    /// Contract: the engine itself never invents gene values — it only
+    /// recombines genes produced by this method, [`GaProblem::seeds`]
+    /// and [`GaProblem::improve`]. A problem that draws all three from
+    /// the same per-locus candidate list therefore confines the whole
+    /// search to that domain; narrowing the list (as `momsynth-core`'s
+    /// statically pruned genome layouts do) soundly restricts the
+    /// search space without any engine-side changes.
     fn random_gene(&self, locus: usize, rng: &mut dyn RngCore) -> Self::Gene;
 
     /// The cost of a genome; lower is better. Infeasibility is expressed

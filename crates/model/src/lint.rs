@@ -7,6 +7,14 @@
 //! leave software, hardware that nothing can use, and periods too tight
 //! for even the fastest implementations.
 //!
+//! All diagnostics here are flat, advisory warnings. The
+//! `momsynth-analyze` crate promotes the *provable* subset — probability
+//! mass drift, transition limits below the reconfiguration floor,
+//! critical-path and area infeasibility — into typed findings with
+//! error/warning/info severities, bound values, and a fail-fast hook in
+//! the synthesis driver; prefer it when a machine decision (rather than a
+//! human read) hangs on the outcome.
+//!
 //! # Examples
 //!
 //! ```

@@ -46,6 +46,13 @@ pub struct RunStart {
     pub genome_len: u64,
     /// When resuming from a checkpoint, the generation it froze.
     pub resumed_generation: Option<u64>,
+    /// Provable Eq. 1 power lower bound p̄_LB of the pre-synthesis static
+    /// analyzer, in mW (`0.0` in traces written before the analyzer
+    /// existed).
+    pub power_lower_bound_mw: f64,
+    /// Fraction of (task, candidate PE) pairs the static analyzer proved
+    /// infeasible and pruned from the genome domain, in `[0, 1]`.
+    pub pruned_domain_ratio: f64,
 }
 
 /// Cumulative run counters, carried by every [`GenerationEvent`] and
@@ -183,6 +190,13 @@ pub struct RunSummary {
     pub threads: u64,
     /// Fraction of cost lookups served by the evaluation cache.
     pub cache_hit_rate: f64,
+    /// Provable Eq. 1 power lower bound p̄_LB of the pre-synthesis static
+    /// analyzer, in mW.
+    pub power_lower_bound_mw: f64,
+    /// Relative optimality gap `(p̄ − p̄_LB) / p̄_LB` of the final
+    /// solution against the static power lower bound (`0.0` when the
+    /// bound is degenerate). Non-negative for every sound bound.
+    pub optimality_gap: f64,
     /// Final cumulative counters.
     pub counters: Counters,
     /// Accumulated inner-loop phase timings.
@@ -219,6 +233,8 @@ mod tests {
                 modes: 3,
                 genome_len: 12,
                 resumed_generation: Some(4),
+                power_lower_bound_mw: 0.75,
+                pruned_domain_ratio: 0.125,
             }),
             Event::Generation(GenerationEvent {
                 generation: 5,
@@ -275,6 +291,8 @@ mod tests {
             evals_per_sec: 400.0,
             threads: 4,
             cache_hit_rate: 0.25,
+            power_lower_bound_mw: 1.75,
+            optimality_gap: 1.0,
             counters: Counters::default(),
             phases: vec![PhaseTiming {
                 phase: Phase::FitnessEval,

@@ -25,6 +25,7 @@
 //! | [`generators`] | benchmark generators: mul1–mul12 suite, smart phone, motivational examples |
 //! | [`telemetry`] | structured run events, phase timers and machine-readable run summaries |
 //! | [`check`] | independent end-to-end verification of finished synthesis results |
+//! | [`analyze`] | pre-synthesis static feasibility analysis with provable bounds |
 //!
 //! # Quickstart
 //!
@@ -42,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub use momsynth_analyze as analyze;
 pub use momsynth_check as check;
 pub use momsynth_core as synthesis;
 pub use momsynth_dvs as dvs;
