@@ -1,0 +1,98 @@
+//! Criterion timing of the job server's durability substrate: fsync'd
+//! journal record writes, recovery scans, and pending-queue operations.
+//! The write path bounds how fast the server can admit jobs; the
+//! recovery scan bounds restart latency after a crash.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use momsynth_serve::{JobRecord, JobSpec, JobState, Journal, PendingQueue, QueueEntry};
+
+fn tmp_root(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("momsynth_bench_journal_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn sample_record(seq: u64) -> JobRecord {
+    let mut record = JobRecord::new(format!("job-{seq:06}"), seq, 5);
+    record.transition(JobState::Analyzing, "admission checks");
+    record.transition(JobState::Running, "worker 0");
+    record
+}
+
+fn journal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal");
+
+    // One durable record transition: serialize, write to a temp file,
+    // fsync, shadow the previous version, atomically rename.
+    let root = tmp_root("write");
+    let j = Journal::open(&root).expect("journal opens");
+    let record = sample_record(1);
+    group.bench_function("durable_record_write", |b| {
+        b.iter(|| j.write_record(&record).expect("write succeeds"))
+    });
+    std::fs::remove_dir_all(&root).ok();
+
+    // Recovery scan over a populated journal: what a restart pays
+    // before it can accept work again.
+    let root = tmp_root("scan");
+    let j = Journal::open(&root).expect("journal opens");
+    for seq in 1..=64 {
+        j.write_record(&sample_record(seq)).expect("write succeeds");
+    }
+    group.bench_function("recovery_scan_64_jobs", |b| {
+        b.iter(|| {
+            let (records, notes) = j.load_all();
+            assert_eq!(records.len(), 64);
+            assert!(notes.is_empty());
+        })
+    });
+    std::fs::remove_dir_all(&root).ok();
+
+    // Spec round trip: the admission write plus the worker's read-back.
+    let root = tmp_root("spec");
+    let j = Journal::open(&root).expect("journal opens");
+    let spec: JobSpec =
+        serde_json::from_value(&serde_json::json!({
+            "system": momsynth_gen::suite::mul(3),
+            "priority": 5,
+            "quick": true,
+        }))
+        .expect("valid spec");
+    group.bench_function("spec_write_and_load", |b| {
+        b.iter(|| {
+            j.write_spec("job-000001", &spec).expect("write succeeds");
+            j.load_spec("job-000001").expect("load succeeds")
+        })
+    });
+    std::fs::remove_dir_all(&root).ok();
+
+    // In-memory queue churn at capacity: push with shed-or-reject
+    // against a full queue, then drain.
+    group.bench_function("queue_push_pop_64", |b| {
+        b.iter(|| {
+            let mut q = PendingQueue::new(64);
+            for seq in 0..64u64 {
+                q.push(QueueEntry {
+                    id: format!("job-{seq:06}"),
+                    priority: (seq % 10) as u8,
+                    seq,
+                    not_before: None,
+                });
+            }
+            let now = Instant::now();
+            let mut drained = 0;
+            while q.pop_due(now).is_some() {
+                drained += 1;
+            }
+            assert_eq!(drained, 64);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, journal);
+criterion_main!(benches);

@@ -105,8 +105,93 @@ pub enum Command {
         /// Where to write the JSON verification report.
         report_out: Option<String>,
     },
+    /// `serve --root DIR [--socket PATH | --oneshot] [--workers N]
+    /// [--queue-capacity N] [--checkpoint-every N]
+    /// [--checkpoint-every-seconds T] [--max-retries N]` — run the
+    /// resident job server.
+    Serve {
+        /// Journal directory (jobs, specs, checkpoints, traces, results).
+        root: String,
+        /// Unix-socket path to listen on.
+        socket: Option<String>,
+        /// Speak the protocol on stdin/stdout instead of a socket.
+        oneshot: bool,
+        /// Worker slots running jobs concurrently.
+        workers: usize,
+        /// Submission-queue bound (back-pressure beyond it).
+        queue_capacity: usize,
+        /// Checkpoint running jobs every N generations.
+        checkpoint_every: usize,
+        /// Also checkpoint whenever this many seconds passed.
+        checkpoint_every_seconds: Option<f64>,
+        /// Retries after a transient failure before failing for good.
+        max_retries: u32,
+    },
+    /// `job <request> --socket PATH` — client for a running job server.
+    Job {
+        /// Unix-socket path of the server.
+        socket: String,
+        /// The request to send.
+        request: JobRequest,
+    },
     /// `help` or no arguments.
     Help,
+}
+
+/// One client request of the `job` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobRequest {
+    /// `job submit <system.json> [synthesis flags] [--wait]`.
+    Submit {
+        /// Path of the system specification.
+        path: String,
+        /// Scheduling priority (higher runs first, sheds lower).
+        priority: u8,
+        /// Use the fast preset.
+        quick: bool,
+        /// Enable voltage scaling.
+        dvs: bool,
+        /// Run the probability-neglecting baseline flow.
+        neglect: bool,
+        /// GA seed.
+        seed: u64,
+        /// Wall-clock optimisation budget in seconds.
+        max_seconds: Option<f64>,
+        /// Fitness-evaluation budget.
+        max_evals: Option<usize>,
+        /// Hard per-attempt timeout; the server marks the job timed-out.
+        timeout_seconds: Option<f64>,
+        /// Block until the job is terminal and exit by its state.
+        wait: bool,
+    },
+    /// `job status <id>`.
+    Status {
+        /// Job id.
+        id: String,
+    },
+    /// `job result <id>`.
+    Result {
+        /// Job id.
+        id: String,
+    },
+    /// `job cancel <id>`.
+    Cancel {
+        /// Job id.
+        id: String,
+    },
+    /// `job wait <id> [--timeout-s T]`.
+    Wait {
+        /// Job id.
+        id: String,
+        /// Give up after this many seconds.
+        timeout_s: f64,
+    },
+    /// `job list`.
+    List,
+    /// `job ping`.
+    Ping,
+    /// `job shutdown` — ask the server to stop gracefully.
+    Shutdown,
 }
 
 /// A named system preset for `generate`.
@@ -410,6 +495,192 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Check { path, solution, report_out })
         }
+        "serve" => {
+            let mut root = None;
+            let mut socket = None;
+            let mut oneshot = false;
+            let mut workers = 2;
+            let mut queue_capacity = 16;
+            let mut checkpoint_every = 5;
+            let mut checkpoint_every_seconds = Some(2.0);
+            let mut max_retries = 2;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--root" => root = Some(take_value(args, &mut i, "--root")?.to_owned()),
+                    "--socket" => {
+                        socket = Some(take_value(args, &mut i, "--socket")?.to_owned());
+                    }
+                    "--oneshot" => oneshot = true,
+                    "--workers" => {
+                        workers = take_value(args, &mut i, "--workers")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --workers".into()))?;
+                    }
+                    "--queue-capacity" => {
+                        queue_capacity = take_value(args, &mut i, "--queue-capacity")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --queue-capacity".into()))?;
+                    }
+                    "--checkpoint-every" => {
+                        checkpoint_every = take_value(args, &mut i, "--checkpoint-every")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --checkpoint-every".into()))?;
+                    }
+                    "--checkpoint-every-seconds" => {
+                        let v: f64 = take_value(args, &mut i, "--checkpoint-every-seconds")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --checkpoint-every-seconds".into()))?;
+                        if !v.is_finite() || v <= 0.0 {
+                            return Err(ParseError("invalid --checkpoint-every-seconds".into()));
+                        }
+                        checkpoint_every_seconds = Some(v);
+                    }
+                    "--max-retries" => {
+                        max_retries = take_value(args, &mut i, "--max-retries")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --max-retries".into()))?;
+                    }
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            let root = root.ok_or_else(|| ParseError("serve requires --root DIR".into()))?;
+            if oneshot && socket.is_some() {
+                return Err(ParseError("--oneshot and --socket are mutually exclusive".into()));
+            }
+            if !oneshot && socket.is_none() {
+                return Err(ParseError("serve requires --socket PATH or --oneshot".into()));
+            }
+            Ok(Command::Serve {
+                root,
+                socket,
+                oneshot,
+                workers,
+                queue_capacity,
+                checkpoint_every,
+                checkpoint_every_seconds,
+                max_retries,
+            })
+        }
+        "job" => {
+            let verb = args
+                .get(1)
+                .ok_or_else(|| {
+                    ParseError(
+                        "job requires a request (submit, status, result, cancel, wait, list, \
+                         ping, shutdown)"
+                            .into(),
+                    )
+                })?
+                .clone();
+            let mut socket = None;
+            let needs_path = verb == "submit";
+            let mut positional = None;
+            let mut priority = 0u8;
+            let mut quick = false;
+            let mut dvs = false;
+            let mut neglect = false;
+            let mut seed = 0u64;
+            let mut max_seconds = None;
+            let mut max_evals = None;
+            let mut timeout_seconds = None;
+            let mut wait = false;
+            let mut timeout_s = 600.0f64;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--socket" => {
+                        socket = Some(take_value(args, &mut i, "--socket")?.to_owned());
+                    }
+                    "--priority" if needs_path => {
+                        priority = take_value(args, &mut i, "--priority")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --priority".into()))?;
+                    }
+                    "--quick" if needs_path => quick = true,
+                    "--dvs" if needs_path => dvs = true,
+                    "--neglect-probabilities" if needs_path => neglect = true,
+                    "--seed" if needs_path => {
+                        seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --seed".into()))?;
+                    }
+                    "--max-seconds" if needs_path => {
+                        max_seconds = Some(
+                            take_value(args, &mut i, "--max-seconds")?
+                                .parse()
+                                .map_err(|_| ParseError("invalid --max-seconds".into()))?,
+                        );
+                    }
+                    "--max-evals" if needs_path => {
+                        max_evals = Some(
+                            take_value(args, &mut i, "--max-evals")?
+                                .parse()
+                                .map_err(|_| ParseError("invalid --max-evals".into()))?,
+                        );
+                    }
+                    "--timeout-seconds" if needs_path => {
+                        timeout_seconds = Some(
+                            take_value(args, &mut i, "--timeout-seconds")?
+                                .parse()
+                                .map_err(|_| ParseError("invalid --timeout-seconds".into()))?,
+                        );
+                    }
+                    "--wait" if needs_path => wait = true,
+                    "--timeout-s" if verb == "wait" => {
+                        timeout_s = take_value(args, &mut i, "--timeout-s")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --timeout-s".into()))?;
+                    }
+                    other if !other.starts_with('-') && positional.is_none() => {
+                        positional = Some(other.to_owned());
+                    }
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            let socket =
+                socket.ok_or_else(|| ParseError("job requires --socket PATH".into()))?;
+            let request = match verb.as_str() {
+                "submit" => {
+                    let path = positional
+                        .ok_or_else(|| ParseError("job submit requires a system file".into()))?;
+                    JobRequest::Submit {
+                        path,
+                        priority,
+                        quick,
+                        dvs,
+                        neglect,
+                        seed,
+                        max_seconds,
+                        max_evals,
+                        timeout_seconds,
+                        wait,
+                    }
+                }
+                "status" | "result" | "cancel" | "wait" => {
+                    let id = positional
+                        .ok_or_else(|| ParseError(format!("job {verb} requires a job id")))?;
+                    match verb.as_str() {
+                        "status" => JobRequest::Status { id },
+                        "result" => JobRequest::Result { id },
+                        "cancel" => JobRequest::Cancel { id },
+                        _ => JobRequest::Wait { id, timeout_s },
+                    }
+                }
+                "list" => JobRequest::List,
+                "ping" => JobRequest::Ping,
+                "shutdown" => JobRequest::Shutdown,
+                other => {
+                    return Err(ParseError(format!(
+                        "unknown job request `{other}` (use submit, status, result, cancel, \
+                         wait, list, ping or shutdown)"
+                    )))
+                }
+            };
+            Ok(Command::Job { socket, request })
+        }
         other => Err(ParseError(format!("unknown command `{other}` (try `momsynth help`)"))),
     }
 }
@@ -442,6 +713,18 @@ COMMANDS:
     check <system.json> <solution.json>
                              re-verify a synthesis result against every
                              paper constraint [--report-out report.json]
+    serve --root DIR         run the resident job server
+                             (--socket PATH | --oneshot, --workers N,
+                             --queue-capacity N, --checkpoint-every N,
+                             --checkpoint-every-seconds T, --max-retries N)
+    job <request> --socket PATH
+                             client for a running server: submit
+                             <system.json> [--priority P --quick --dvs
+                             --neglect-probabilities --seed S
+                             --max-seconds T --max-evals N
+                             --timeout-seconds T --wait], status <id>,
+                             result <id>, cancel <id>, wait <id>
+                             [--timeout-s T], list, ping, shutdown
     help                     show this text
 
 ANALYZE:
@@ -479,12 +762,26 @@ SYNTH OBSERVABILITY:
     files are still written). Resumed runs continue the original trace's
     generation numbering and counters seamlessly.
 
+SERVING:
+    `serve` runs a resident, crash-safe job server: submissions are
+    journalled durably, running jobs checkpoint periodically, and a
+    restart resumes every interrupted job as an exact continuation of
+    its trajectory. The queue is bounded: when full, lower-priority work
+    is shed for higher-priority submissions and equal-priority ones are
+    rejected with a typed retry-after hint. SIGTERM/Ctrl-C shuts down
+    gracefully, checkpointing all running jobs first. `job` talks to the
+    server over its Unix socket; `job wait` (and `submit --wait`) exits
+    0/2/3 by the job's terminal state, mirroring `synth`.
+
 EXIT CODES:
-    0  success, best solution feasible / check found no violations
-    1  usage, load or synthesis error
+    0  success, best solution feasible / check found no violations /
+       job verified
+    1  usage, load or synthesis error / server unreachable
     2  finished, but the best solution violates constraints / check
-       found violations / analyze proved the specification infeasible
-    3  cancelled (Ctrl-C); best-so-far solution was reported
+       found violations / analyze proved the specification infeasible /
+       job failed, timed out or was shed
+    3  cancelled (Ctrl-C); best-so-far solution was reported / job was
+       cancelled
 ";
 
 #[cfg(test)]
@@ -716,6 +1013,89 @@ mod tests {
         assert!(parse(&argv("analyze")).is_err());
         assert!(parse(&argv("analyze sys.json --report-out")).is_err());
         assert!(parse(&argv("analyze sys.json --bogus")).is_err());
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let cmd = parse(&argv(
+            "serve --root jobs --socket momsynth.sock --workers 4 --queue-capacity 8 \
+             --checkpoint-every 3 --checkpoint-every-seconds 1.5 --max-retries 5",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                root: "jobs".into(),
+                socket: Some("momsynth.sock".into()),
+                oneshot: false,
+                workers: 4,
+                queue_capacity: 8,
+                checkpoint_every: 3,
+                checkpoint_every_seconds: Some(1.5),
+                max_retries: 5,
+            }
+        );
+        match parse(&argv("serve --root jobs --oneshot")).unwrap() {
+            Command::Serve { oneshot, socket, .. } => {
+                assert!(oneshot);
+                assert_eq!(socket, None);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse(&argv("serve --socket s.sock")).is_err(), "--root is required");
+        assert!(parse(&argv("serve --root jobs")).is_err(), "a transport is required");
+        assert!(parse(&argv("serve --root jobs --oneshot --socket s.sock")).is_err());
+        assert!(parse(&argv("serve --root jobs --oneshot --checkpoint-every-seconds 0")).is_err());
+    }
+
+    #[test]
+    fn job_requests_parse() {
+        let cmd = parse(&argv(
+            "job submit sys.json --socket s.sock --priority 7 --quick --seed 3 \
+             --timeout-seconds 30 --wait",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Job {
+                socket: "s.sock".into(),
+                request: JobRequest::Submit {
+                    path: "sys.json".into(),
+                    priority: 7,
+                    quick: true,
+                    dvs: false,
+                    neglect: false,
+                    seed: 3,
+                    max_seconds: None,
+                    max_evals: None,
+                    timeout_seconds: Some(30.0),
+                    wait: true,
+                },
+            }
+        );
+        assert_eq!(
+            parse(&argv("job status job-000001 --socket s.sock")).unwrap(),
+            Command::Job {
+                socket: "s.sock".into(),
+                request: JobRequest::Status { id: "job-000001".into() },
+            }
+        );
+        assert_eq!(
+            parse(&argv("job wait job-000002 --socket s.sock --timeout-s 5")).unwrap(),
+            Command::Job {
+                socket: "s.sock".into(),
+                request: JobRequest::Wait { id: "job-000002".into(), timeout_s: 5.0 },
+            }
+        );
+        assert_eq!(
+            parse(&argv("job list --socket s.sock")).unwrap(),
+            Command::Job { socket: "s.sock".into(), request: JobRequest::List }
+        );
+        assert!(parse(&argv("job")).is_err());
+        assert!(parse(&argv("job submit sys.json")).is_err(), "--socket is required");
+        assert!(parse(&argv("job status --socket s.sock")).is_err(), "an id is required");
+        assert!(parse(&argv("job frobnicate --socket s.sock")).is_err());
+        assert!(parse(&argv("job list --socket s.sock --priority 3")).is_err());
     }
 
     #[test]

@@ -29,7 +29,7 @@ use momsynth_gen::suite::{generate, mul, GeneratorParams};
 use momsynth_model::{dot, lint, System};
 use momsynth_power::energy_breakdown;
 
-use args::{parse, Command, DotTarget, GeneratePreset, HELP};
+use args::{parse, Command, DotTarget, GeneratePreset, JobRequest, HELP};
 
 /// `synth` finished but the best solution violates constraints.
 const EXIT_INFEASIBLE: u8 = 2;
@@ -48,6 +48,7 @@ mod sigint {
     pub static STOP: AtomicBool = AtomicBool::new(false);
 
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
@@ -61,6 +62,14 @@ mod sigint {
             signal(SIGINT, handle);
         }
     }
+
+    /// Additionally treats SIGTERM as a graceful-stop request (the job
+    /// server installs this so service managers can stop it cleanly).
+    pub fn install_term() {
+        unsafe {
+            signal(SIGTERM, handle);
+        }
+    }
 }
 
 #[cfg(not(unix))]
@@ -72,6 +81,9 @@ mod sigint {
 
     /// No-op.
     pub fn install() {}
+
+    /// No-op.
+    pub fn install_term() {}
 }
 
 fn main() -> ExitCode {
@@ -275,7 +287,15 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             config.ga.max_seconds = max_seconds;
             config.ga.max_evaluations = max_evals;
             let resume = match resume {
-                Some(p) => Some(Checkpoint::load(Path::new(&p))?),
+                Some(p) => {
+                    // Torn or corrupt primary checkpoints fall back to the
+                    // `.bak` sibling kept by every save, with a warning.
+                    let (cp, recovered) = Checkpoint::load_resilient(Path::new(&p))?;
+                    if let Some(note) = recovered {
+                        eprintln!("warning: {note}");
+                    }
+                    Some(cp)
+                }
                 None => None,
             };
             sigint::install();
@@ -297,10 +317,8 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
 
             let control = SynthControl {
                 stop: Some(&sigint::STOP),
-                checkpoint: checkpoint.map(|p| CheckpointSpec {
-                    path: PathBuf::from(p),
-                    every: checkpoint_every,
-                }),
+                checkpoint: checkpoint
+                    .map(|p| CheckpointSpec::every_generations(PathBuf::from(p), checkpoint_every)),
                 resume,
                 sink: Some(&sink),
             };
@@ -354,20 +372,7 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
 
             if let Some(path) = output {
-                let report = serde_json::json!({
-                    "system": system.name(),
-                    "average_power_mw": result.best.power.average.as_milli(),
-                    "feasible": result.best.is_feasible(),
-                    "mapping": result.best.mapping,
-                    "alloc": result.best.alloc,
-                    "schedules": result.best.schedules,
-                    "voltage_schedules": result.best.voltage_schedules,
-                    "power": result.best.power,
-                    "generations": result.generations,
-                    "evaluations": result.evaluations,
-                    "rejected": result.rejected,
-                    "stop_reason": result.stop_reason.to_string(),
-                });
+                let report = result.report(&system);
                 write_output(&path, &serde_json::to_string_pretty(&report)?, quiet)?;
             }
             Ok(if result.stop_reason == StopReason::Cancelled {
@@ -378,7 +383,251 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 ExitCode::SUCCESS
             })
         }
+        Command::Serve {
+            root,
+            socket,
+            oneshot,
+            workers,
+            queue_capacity,
+            checkpoint_every,
+            checkpoint_every_seconds,
+            max_retries,
+        } => {
+            let mut config = momsynth_serve::ServerConfig::new(PathBuf::from(&root));
+            config.workers = workers;
+            config.queue_capacity = queue_capacity;
+            config.checkpoint_every = checkpoint_every;
+            config.checkpoint_every_seconds = checkpoint_every_seconds;
+            config.max_retries = max_retries;
+            let server = momsynth_serve::Server::start(config)?;
+            for note in server.recovery_notes() {
+                eprintln!("recovery: {note}");
+            }
+            sigint::install();
+            sigint::install_term();
+            if oneshot {
+                let stdin = std::io::stdin();
+                let stdout = std::io::stdout();
+                momsynth_serve::socket::serve_stdio(
+                    &server,
+                    stdin.lock(),
+                    stdout.lock(),
+                    &sigint::STOP,
+                );
+                server.shutdown();
+                return Ok(ExitCode::SUCCESS);
+            }
+            serve_on_socket(server, &socket.expect("parser guarantees a socket"), &root)
+        }
+        Command::Job { socket, request } => run_job_client(&socket, &request),
     }
+}
+
+/// Runs the job server on a Unix socket until SIGINT/SIGTERM or a
+/// client's `shutdown` command, then shuts down gracefully (running
+/// jobs checkpoint and stay resumable in the journal).
+#[cfg(unix)]
+fn serve_on_socket(
+    server: momsynth_serve::Server,
+    socket: &str,
+    root: &str,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let server = Arc::new(server);
+    let stop = Arc::new(AtomicBool::new(false));
+    // Bridge the static signal flag into the shareable stop flag the
+    // accept loop and connection threads poll.
+    let bridge_stop = Arc::clone(&stop);
+    let bridge = std::thread::spawn(move || {
+        while !bridge_stop.load(Ordering::Relaxed) {
+            if sigint::STOP.load(Ordering::SeqCst) {
+                bridge_stop.store(true, Ordering::Relaxed);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    });
+    eprintln!("serving on `{socket}` (journal `{root}`)");
+    let served = momsynth_serve::socket::serve_unix(&server, Path::new(socket), &stop);
+    stop.store(true, Ordering::Relaxed);
+    let _ = bridge.join();
+    match Arc::try_unwrap(server) {
+        Ok(server) => server.shutdown(),
+        Err(server) => drop(server),
+    }
+    served.map_err(|e| format!("cannot serve on `{socket}`: {e}"))?;
+    eprintln!("server stopped; journal preserved in `{root}`");
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(not(unix))]
+fn serve_on_socket(
+    _server: momsynth_serve::Server,
+    _socket: &str,
+    _root: &str,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    Err("unix sockets are not supported on this platform; use --oneshot".into())
+}
+
+/// Maps a terminal job state to the CLI's documented exit codes:
+/// verified → 0, cancelled → 3, any other terminal state → 2.
+fn job_state_exit(state: &str) -> ExitCode {
+    match state {
+        "verified" => ExitCode::SUCCESS,
+        "cancelled" => ExitCode::from(EXIT_CANCELLED),
+        _ => ExitCode::from(EXIT_INFEASIBLE),
+    }
+}
+
+/// One request/response round trip on the client connection.
+#[cfg(unix)]
+fn roundtrip(
+    stream: &mut std::os::unix::net::UnixStream,
+    reader: &mut impl std::io::BufRead,
+    request: &serde_json::Value,
+) -> Result<serde_json::Value, Box<dyn std::error::Error>> {
+    use std::io::Write;
+    writeln!(stream, "{}", serde_json::to_string(request)?)?;
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    if response.trim().is_empty() {
+        return Err("server closed the connection".into());
+    }
+    Ok(serde_json::from_str(response.trim())?)
+}
+
+/// The `job` client: sends one protocol request to a running server and
+/// prints the JSON response line. `submit --wait` and `wait` exit by the
+/// job's terminal state (0 verified, 3 cancelled, 2 otherwise).
+#[cfg(unix)]
+fn run_job_client(
+    socket: &str,
+    request: &JobRequest,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use std::os::unix::net::UnixStream;
+
+    let mut stream = UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to `{socket}`: {e}"))?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let ok = |v: &serde_json::Value| v.get("ok").and_then(|o| o.as_bool()) == Some(true);
+    let simple = |req: serde_json::Value,
+                  stream: &mut UnixStream,
+                  reader: &mut std::io::BufReader<UnixStream>|
+     -> Result<ExitCode, Box<dyn std::error::Error>> {
+        let resp = roundtrip(stream, reader, &req)?;
+        println!("{}", serde_json::to_string(&resp)?);
+        Ok(if ok(&resp) { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+    };
+    match request {
+        JobRequest::Submit {
+            path,
+            priority,
+            quick,
+            dvs,
+            neglect,
+            seed,
+            max_seconds,
+            max_evals,
+            timeout_seconds,
+            wait,
+        } => {
+            let system = load_system(path)?;
+            let spec = serde_json::json!({
+                "system": system,
+                "priority": priority,
+                "seed": seed,
+                "quick": quick,
+                "dvs": dvs,
+                "neglect": neglect,
+                "max_seconds": max_seconds,
+                "max_evaluations": max_evals,
+                "timeout_seconds": timeout_seconds,
+            });
+            let resp = roundtrip(
+                &mut stream,
+                &mut reader,
+                &serde_json::json!({"cmd": "submit", "spec": spec}),
+            )?;
+            println!("{}", serde_json::to_string(&resp)?);
+            if !ok(&resp) {
+                return Ok(ExitCode::FAILURE);
+            }
+            if !wait {
+                return Ok(ExitCode::SUCCESS);
+            }
+            let id = resp
+                .get("id")
+                .and_then(|v| v.as_str())
+                .ok_or("submit response carries no job id")?
+                .to_owned();
+            let resp = roundtrip(
+                &mut stream,
+                &mut reader,
+                &serde_json::json!({"cmd": "wait", "id": id, "timeout_s": 3600.0}),
+            )?;
+            println!("{}", serde_json::to_string(&resp)?);
+            if !ok(&resp) {
+                return Ok(ExitCode::FAILURE);
+            }
+            let state = resp
+                .get("job")
+                .and_then(|j| j.get("state"))
+                .and_then(|v| v.as_str())
+                .unwrap_or("");
+            Ok(job_state_exit(state))
+        }
+        JobRequest::Wait { id, timeout_s } => {
+            let resp = roundtrip(
+                &mut stream,
+                &mut reader,
+                &serde_json::json!({"cmd": "wait", "id": id, "timeout_s": timeout_s}),
+            )?;
+            println!("{}", serde_json::to_string(&resp)?);
+            if !ok(&resp) {
+                return Ok(ExitCode::FAILURE);
+            }
+            let state = resp
+                .get("job")
+                .and_then(|j| j.get("state"))
+                .and_then(|v| v.as_str())
+                .unwrap_or("");
+            Ok(job_state_exit(state))
+        }
+        JobRequest::Status { id } => simple(
+            serde_json::json!({"cmd": "status", "id": id}),
+            &mut stream,
+            &mut reader,
+        ),
+        JobRequest::Result { id } => simple(
+            serde_json::json!({"cmd": "result", "id": id}),
+            &mut stream,
+            &mut reader,
+        ),
+        JobRequest::Cancel { id } => simple(
+            serde_json::json!({"cmd": "cancel", "id": id}),
+            &mut stream,
+            &mut reader,
+        ),
+        JobRequest::List => {
+            simple(serde_json::json!({"cmd": "list"}), &mut stream, &mut reader)
+        }
+        JobRequest::Ping => {
+            simple(serde_json::json!({"cmd": "ping"}), &mut stream, &mut reader)
+        }
+        JobRequest::Shutdown => {
+            simple(serde_json::json!({"cmd": "shutdown"}), &mut stream, &mut reader)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn run_job_client(
+    _socket: &str,
+    _request: &JobRequest,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    Err("the job client needs unix sockets; drive a `serve --oneshot` server instead".into())
 }
 
 /// Prints the human-readable solution report to stdout.

@@ -12,8 +12,11 @@
 //! rejects unknown versions, and [`Checkpoint::validate`] cross-checks the
 //! header against the system a resume targets (name, mode/task counts,
 //! genome length, GA seed) so a checkpoint can never silently resume onto
-//! the wrong problem. Writes go through a temporary sibling file and a
-//! rename, so an interrupted write never destroys the previous checkpoint.
+//! the wrong problem. Writes go through an fsync'd temporary sibling file
+//! and a rename, so an interrupted write never destroys the previous
+//! checkpoint, and the previous good file is kept as a `.bak` sibling:
+//! [`Checkpoint::load_resilient`] falls back to it when the primary is
+//! torn or corrupt, reporting the recovery instead of aborting.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -87,6 +90,13 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// `path` with `suffix` appended to its final component.
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut s = path.as_os_str().to_owned();
+    s.push(suffix);
+    PathBuf::from(s)
+}
+
 /// Frozen GA engine state plus a header tying it to one system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
@@ -157,12 +167,25 @@ impl Checkpoint {
         }
     }
 
-    /// Writes the checkpoint as pretty JSON, atomically (temporary file +
-    /// rename), so a crash mid-write keeps the previous checkpoint intact.
+    /// The `.bak` sibling where [`Checkpoint::save`] keeps the previous
+    /// good checkpoint.
+    pub fn backup_path(path: &Path) -> PathBuf {
+        sibling(path, ".bak")
+    }
+
+    /// Writes the checkpoint as pretty JSON, durably and atomically:
+    /// the temporary sibling is fsync'd before the rename (so the rename
+    /// never publishes a file whose contents still sit in the page
+    /// cache), and the previous good checkpoint is hard-linked to a
+    /// `.bak` sibling first, so even external corruption of the primary
+    /// (a torn copy, a bad disk) leaves [`Checkpoint::load_resilient`] a
+    /// fallback.
     ///
     /// # Errors
     ///
-    /// Returns [`CheckpointError::Io`] if writing or renaming fails.
+    /// Returns [`CheckpointError::Io`] if writing, syncing or renaming
+    /// fails. A failure to keep the `.bak` link is not an error — the
+    /// backup is best-effort (some filesystems lack hard links).
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
         let io = |reason: std::io::Error| CheckpointError::Io {
             path: path.to_owned(),
@@ -172,12 +195,53 @@ impl Checkpoint {
             path: path.to_owned(),
             reason: e.to_string(),
         })?;
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
-        std::fs::write(&tmp, json).map_err(io)?;
+        let tmp = sibling(path, ".tmp");
+        {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp).map_err(io)?;
+            file.write_all(json.as_bytes()).map_err(io)?;
+            file.sync_all().map_err(io)?;
+        }
+        if path.exists() {
+            let bak = Self::backup_path(path);
+            std::fs::remove_file(&bak).ok();
+            std::fs::hard_link(path, &bak).ok();
+        }
         std::fs::rename(&tmp, path).map_err(io)?;
         Ok(())
+    }
+
+    /// Loads `path`, falling back to the `.bak` sibling kept by
+    /// [`Checkpoint::save`] when the primary is unreadable, corrupt or of
+    /// an unknown version.
+    ///
+    /// On fallback the second element describes what happened, suitable
+    /// for a telemetry [`Warning`](momsynth_telemetry::Warning); it is
+    /// `None` when the primary loaded cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the *primary* file's error when neither the primary nor
+    /// the backup loads.
+    pub fn load_resilient(path: &Path) -> Result<(Self, Option<String>), CheckpointError> {
+        let primary_err = match Self::load(path) {
+            Ok(cp) => return Ok((cp, None)),
+            Err(e) => e,
+        };
+        let bak = Self::backup_path(path);
+        match Self::load(&bak) {
+            Ok(cp) => {
+                let note = format!(
+                    "checkpoint `{}` is unreadable ({primary_err}); \
+                     recovered previous good checkpoint `{}` at generation {}",
+                    path.display(),
+                    bak.display(),
+                    cp.generation
+                );
+                Ok((cp, Some(note)))
+            }
+            Err(_) => Err(primary_err),
+        }
     }
 
     /// Reads and version-checks a checkpoint file.
@@ -388,6 +452,64 @@ mod tests {
                 if found == CHECKPOINT_VERSION + 1 && supported == CHECKPOINT_VERSION
         ));
         std::fs::remove_file(&future).ok();
+    }
+
+    #[test]
+    fn load_resilient_recovers_a_truncated_checkpoint_from_the_backup() {
+        let system = small_system();
+        let layout = GenomeLayout::new(&system);
+        let path = tmp_path("truncated.json");
+        let bak = Checkpoint::backup_path(&path);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bak).ok();
+
+        // Two consecutive saves: the second keeps the first as `.bak`.
+        let mut snapshot = sample_snapshot(layout.len());
+        let older = Checkpoint::capture(&system, &layout, 7, &snapshot, Counters::default(), sample_cache(layout.len()));
+        older.save(&path).unwrap();
+        snapshot.generation = 3;
+        snapshot.evaluations = 45;
+        snapshot.history.push(4.0);
+        let newer = Checkpoint::capture(&system, &layout, 7, &snapshot, Counters::default(), sample_cache(layout.len()));
+        newer.save(&path).unwrap();
+        assert!(bak.exists(), "save must keep the previous good checkpoint");
+
+        // A clean primary loads without a warning.
+        let (cp, note) = Checkpoint::load_resilient(&path).unwrap();
+        assert_eq!(cp, newer);
+        assert!(note.is_none());
+
+        // Tear the primary (external truncation fixture): the resilient
+        // loader falls back to the previous good checkpoint and says so.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let (cp, note) = Checkpoint::load_resilient(&path).unwrap();
+        assert_eq!(cp, older, "fallback must be the previous good checkpoint");
+        let note = note.expect("recovery must be reported");
+        assert!(note.contains("recovered"), "{note}");
+
+        // Both torn: the primary's error surfaces.
+        std::fs::write(&bak, "{").unwrap();
+        assert!(matches!(
+            Checkpoint::load_resilient(&path),
+            Err(CheckpointError::Parse { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bak).ok();
+    }
+
+    #[test]
+    fn save_survives_a_missing_backup_target() {
+        // First-ever save has no previous checkpoint to back up.
+        let system = small_system();
+        let layout = GenomeLayout::new(&system);
+        let path = tmp_path("first_save.json");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(Checkpoint::backup_path(&path)).ok();
+        let cp = Checkpoint::capture(&system, &layout, 1, &sample_snapshot(layout.len()), Counters::default(), sample_cache(layout.len()));
+        cp.save(&path).unwrap();
+        assert!(!Checkpoint::backup_path(&path).exists());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

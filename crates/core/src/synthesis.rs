@@ -26,7 +26,7 @@
 //!   back to the all-software seed mapping; only when that fails too does
 //!   it return [`SynthesisError::Unschedulable`].
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -134,6 +134,26 @@ impl SynthesisResult {
             phases: self.phase_timings.clone(),
         }
     }
+
+    /// Renders the full solution (mapping, allocation, schedules, power)
+    /// as the machine-readable JSON report that `momsynth run --output`
+    /// writes and the job server returns from its result endpoint.
+    pub fn report(&self, system: &System) -> serde_json::Value {
+        serde_json::json!({
+            "system": system.name(),
+            "average_power_mw": self.best.power.average.as_milli(),
+            "feasible": self.best.is_feasible(),
+            "mapping": self.best.mapping,
+            "alloc": self.best.alloc,
+            "schedules": self.best.schedules,
+            "voltage_schedules": self.best.voltage_schedules,
+            "power": self.best.power,
+            "generations": self.generations,
+            "evaluations": self.evaluations,
+            "rejected": self.rejected,
+            "stop_reason": self.stop_reason.to_string(),
+        })
+    }
 }
 
 /// A synthesis run failed in a way no fallback could absorb.
@@ -196,12 +216,25 @@ impl From<CheckpointError> for SynthesisError {
 }
 
 /// Periodic checkpointing of a synthesis run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointSpec {
     /// File the checkpoint JSON is (atomically) written to.
     pub path: PathBuf,
     /// Save every this many generations (0 is treated as 1).
     pub every: usize,
+    /// Additionally save whenever this much wall-clock time has passed
+    /// since the last save, regardless of the generation cadence. A
+    /// long-running server sets this so slow generations cannot stretch
+    /// the crash-recovery window arbitrarily. `None` disables the time
+    /// cadence.
+    pub every_seconds: Option<f64>,
+}
+
+impl CheckpointSpec {
+    /// Generation-cadence-only checkpointing (no time cadence).
+    pub fn every_generations(path: PathBuf, every: usize) -> Self {
+        Self { path, every, every_seconds: None }
+    }
 }
 
 /// Resilience controls for [`Synthesizer::run_controlled`]. The default
@@ -580,7 +613,14 @@ impl<'a> Synthesizer<'a> {
         let checkpoint_spec = control
             .checkpoint
             .as_ref()
-            .map(|spec| (spec.every.max(1), spec.path.clone()));
+            .map(|spec| (spec.every.max(1), spec.path.clone(), spec.every_seconds));
+        // The freshest capture and the generation last written to disk,
+        // kept outside the hook so an interrupted run (cancellation,
+        // budget, shutdown) can flush one final checkpoint even when the
+        // generation cadence left the file stale.
+        let latest_checkpoint: RefCell<Option<Checkpoint>> = RefCell::new(None);
+        let last_saved_generation = Cell::new(None::<usize>);
+        let last_save_time = Cell::new(Instant::now());
         // The oracle re-derives solutions through a dedicated evaluator so
         // its DVS passes never leak into the run's deterministic counters
         // or phase timings (checkpoint/resume trace equivalence).
@@ -591,17 +631,24 @@ impl<'a> Synthesizer<'a> {
             let (system, layout, seed) = (self.system, &layout, ga_config.seed);
             let evaluator = &verify_evaluator;
             let dvs_eval = self.config.dvs.as_ref().map(|d| d.eval);
+            let latest_ref = &latest_checkpoint;
+            let saved_gen_ref = &last_saved_generation;
+            let save_time_ref = &last_save_time;
             Some(Box::new(move |snapshot: &GaSnapshot<Gene>| {
-                if let Some((every, path)) = &checkpoint_spec {
-                    if snapshot.generation.is_multiple_of(*every) {
-                        let cp = Checkpoint::capture(
-                            system,
-                            layout,
-                            seed,
-                            snapshot,
-                            problem_ref.counters_snapshot(),
-                            problem_ref.cache_state(),
-                        );
+                if let Some((every, path, every_seconds)) = &checkpoint_spec {
+                    let cp = Checkpoint::capture(
+                        system,
+                        layout,
+                        seed,
+                        snapshot,
+                        problem_ref.counters_snapshot(),
+                        problem_ref.cache_state(),
+                    );
+                    let due = snapshot.generation.is_multiple_of(*every)
+                        || every_seconds.is_some_and(|s| {
+                            save_time_ref.get().elapsed().as_secs_f64() >= s
+                        });
+                    if due {
                         if let Err(e) = cp.save(path) {
                             // Checkpointing is best-effort: losing a
                             // checkpoint must not lose the run.
@@ -610,8 +657,12 @@ impl<'a> Synthesizer<'a> {
                                 Some(sink) => sink.record(&Event::Warning(Warning { message })),
                                 None => eprintln!("warning: {message}"),
                             }
+                        } else {
+                            saved_gen_ref.set(Some(cp.generation));
+                            save_time_ref.set(Instant::now());
                         }
                     }
+                    *latest_ref.borrow_mut() = Some(cp);
                 }
                 if verify_generations {
                     // Invariant mode: re-derive the generation's best
@@ -645,6 +696,28 @@ impl<'a> Synthesizer<'a> {
             &ga_config,
             RunControl { stop: control.stop, resume, on_generation, sink },
         );
+
+        // Graceful-shutdown guarantee: an interrupted run flushes its
+        // freshest completed generation to the checkpoint file, so a
+        // restart resumes from exactly where the run stopped even when
+        // the periodic cadence (`every` > 1) left the file stale. The
+        // capture was taken inside the generation hook, so its counters
+        // and cache exclude any discarded partial generation.
+        if outcome.stop_reason.is_interrupted() {
+            if let Some(spec) = &control.checkpoint {
+                if let Some(cp) = latest_checkpoint.borrow_mut().take() {
+                    if last_saved_generation.get() != Some(cp.generation) {
+                        if let Err(e) = cp.save(&spec.path) {
+                            let message = format!("final checkpoint not saved: {e}");
+                            match sink {
+                                Some(sink) => sink.record(&Event::Warning(Warning { message })),
+                                None => eprintln!("warning: {message}"),
+                            }
+                        }
+                    }
+                }
+            }
+        }
 
         // Memetic polish: single-gene first-improvement sweeps remove the
         // drift artefacts evolution under skewed weights leaves behind.

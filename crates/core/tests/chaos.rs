@@ -190,7 +190,7 @@ fn assert_resume_equivalence(mut cfg: SynthesisConfig, name: &str) {
     cut_cfg.ga.max_evaluations = Some(40);
     let cut = Synthesizer::new(&system, cut_cfg)
         .run_controlled(SynthControl {
-            checkpoint: Some(CheckpointSpec { path: cp_path.clone(), every: 1 }),
+            checkpoint: Some(CheckpointSpec::every_generations(cp_path.clone(), 1)),
             ..SynthControl::default()
         })
         .expect("interrupted run still returns its best-so-far");

@@ -2,9 +2,10 @@
 //!
 //! The central guarantee: a fixed-seed run and its checkpoint-resumed
 //! counterpart emit *identical* event streams modulo wall-clock fields.
-//! [`GenerationEvent`] deliberately carries no wall-clock data, so the
-//! per-generation records must match exactly; [`RunSummary`] is compared
-//! through [`RunSummary::normalized`], which zeroes its timing fields.
+//! [`GenerationEvent`] carries a single wall-clock field (the live
+//! `evals_per_sec` throughput), zeroed by [`GenerationEvent::normalized`]
+//! before comparison; [`RunSummary`] is compared through
+//! [`RunSummary::normalized`], which zeroes its timing fields.
 
 use std::path::PathBuf;
 
@@ -40,7 +41,7 @@ fn generations(events: &[Event]) -> Vec<GenerationEvent> {
     events
         .iter()
         .filter_map(|e| match e {
-            Event::Generation(g) => Some(g.clone()),
+            Event::Generation(g) => Some(g.normalized()),
             _ => None,
         })
         .collect()
@@ -84,6 +85,24 @@ fn run_emits_start_generations_phases_and_summary() {
     }
     // DVS is on, so the deterministic iteration counter must move.
     assert!(gens.last().unwrap().counters.dvs_iterations > 0);
+
+    // Live progress: each periodic event reports throughput and the
+    // cache hit rate consistent with its own counters, so a status
+    // endpoint needs no end-of-run summary.
+    let raw_gens: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Generation(g) => Some(g.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        raw_gens.iter().any(|g| g.evals_per_sec > 0.0),
+        "per-generation events must carry live throughput"
+    );
+    for g in &raw_gens {
+        assert_eq!(g.cache_hit_rate, g.counters.cache_hit_rate());
+    }
 
     // Phase timing was enabled by the sink; the spans must cover at
     // least the whole-evaluation phase and sum consistently.
@@ -137,7 +156,7 @@ fn resumed_trace_is_the_exact_tail_of_the_uninterrupted_trace() {
     cut_cfg.ga.max_evaluations = Some(40);
     Synthesizer::new(&system, cut_cfg)
         .run_controlled(SynthControl {
-            checkpoint: Some(CheckpointSpec { path: cp_path.clone(), every: 1 }),
+            checkpoint: Some(CheckpointSpec::every_generations(cp_path.clone(), 1)),
             ..SynthControl::default()
         })
         .unwrap();

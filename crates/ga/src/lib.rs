@@ -433,6 +433,9 @@ pub fn run_controlled<P: GaProblem>(
         let mean =
             population.iter().map(|i| i.cost).sum::<f64>() / population.len().max(1) as f64;
         let worst = population.last().map_or(best.cost, |i| i.cost);
+        let counters = problem.counters();
+        let elapsed = start.elapsed().as_secs_f64();
+        let evals_per_sec = if elapsed > 0.0 { evaluations as f64 / elapsed } else { 0.0 };
         sink.record(&Event::Generation(GenerationEvent {
             generation: generation as u64,
             evaluations: evaluations as u64,
@@ -440,7 +443,9 @@ pub fn run_controlled<P: GaProblem>(
             mean,
             worst,
             stagnation: stagnation as u64,
-            counters: problem.counters(),
+            evals_per_sec,
+            cache_hit_rate: counters.cache_hit_rate(),
+            counters,
         }));
     };
     let stop_requested =
@@ -1351,13 +1356,26 @@ mod tests {
                 ..RunControl::default()
             },
         );
-        let tail: Vec<Event> = full_sink
-            .events()
-            .into_iter()
-            .filter(|e| matches!(e, Event::Generation(g) if g.generation > 7))
-            .collect();
+        // Normalise away the only wall-clock field (evals_per_sec) before
+        // comparing: everything else must replay bit for bit.
+        let normalize = |events: Vec<Event>| -> Vec<Event> {
+            events
+                .into_iter()
+                .filter_map(|e| match e {
+                    Event::Generation(g) if g.generation > 7 => {
+                        Some(Event::Generation(g.normalized()))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        let tail = normalize(full_sink.events());
         assert!(!tail.is_empty());
-        assert_eq!(resumed_sink.events(), tail, "resumed trace must replay the tail exactly");
+        assert_eq!(
+            normalize(resumed_sink.events()),
+            tail,
+            "resumed trace must replay the tail exactly"
+        );
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The crash-safe job journal: one directory tree holding everything a
+//! restarted server needs to account for every job it ever accepted.
+//!
+//! ```text
+//! <root>/
+//!   jobs/<id>.json         lifecycle record, rewritten atomically on
+//!                          every transition (fsync + rename, previous
+//!                          good record kept as `.bak`)
+//!   specs/<id>.json        the submitted spec, written once
+//!   checkpoints/<id>.json  Checkpoint v3 of the in-flight run
+//!   traces/<id>.jsonl      telemetry trace, appended across attempts
+//!   results/<id>.json      final solution report of a verified job
+//! ```
+//!
+//! Records are the source of truth for recovery: a torn primary falls
+//! back to its `.bak` sibling, so a crash mid-write (or external
+//! corruption) never loses a job's lifecycle.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::job::{JobRecord, JobSpec};
+
+/// A failure while reading or writing the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalError {
+    /// The offending path.
+    pub path: PathBuf,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "journal error on `{}`: {}", self.path.display(), self.reason)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Handle to a journal directory tree. Cloneable and thread-safe: all
+/// state lives on disk, and every write is atomic.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    root: PathBuf,
+}
+
+/// `path` with `suffix` appended to its final component.
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut s = path.as_os_str().to_owned();
+    s.push(suffix);
+    PathBuf::from(s)
+}
+
+/// Durable atomic write: contents go to an fsync'd temporary sibling,
+/// the previous file (if any) is hard-linked to `.bak`, then the
+/// temporary is renamed over the target.
+fn write_durable(path: &Path, contents: &str) -> Result<(), JournalError> {
+    let err = |reason: String| JournalError { path: path.to_owned(), reason };
+    let tmp = sibling(path, ".tmp");
+    let mut file = std::fs::File::create(&tmp).map_err(|e| err(e.to_string()))?;
+    file.write_all(contents.as_bytes()).map_err(|e| err(e.to_string()))?;
+    file.sync_all().map_err(|e| err(e.to_string()))?;
+    drop(file);
+    if path.exists() {
+        let bak = sibling(path, ".bak");
+        std::fs::remove_file(&bak).ok();
+        std::fs::hard_link(path, &bak).ok();
+    }
+    std::fs::rename(&tmp, path).map_err(|e| err(e.to_string()))
+}
+
+/// Reads and parses `path`, falling back to the `.bak` sibling when the
+/// primary is missing, torn or corrupt. Returns the value and whether
+/// the fallback was used.
+fn read_resilient<T: serde::de::DeserializeOwned>(
+    path: &Path,
+) -> Result<(T, bool), JournalError> {
+    let parse = |p: &Path| -> Result<T, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
+        serde_json::from_str(&text).map_err(|e| e.to_string())
+    };
+    match parse(path) {
+        Ok(v) => Ok((v, false)),
+        Err(primary_reason) => match parse(&sibling(path, ".bak")) {
+            Ok(v) => Ok((v, true)),
+            Err(_) => Err(JournalError { path: path.to_owned(), reason: primary_reason }),
+        },
+    }
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal tree rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directories cannot be created.
+    pub fn open(root: &Path) -> Result<Self, JournalError> {
+        for sub in ["jobs", "specs", "checkpoints", "traces", "results"] {
+            let dir = root.join(sub);
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| JournalError { path: dir.clone(), reason: e.to_string() })?;
+        }
+        Ok(Self { root: root.to_owned() })
+    }
+
+    /// The journal's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of a job's lifecycle record.
+    pub fn record_path(&self, id: &str) -> PathBuf {
+        self.root.join("jobs").join(format!("{id}.json"))
+    }
+
+    /// Path of a job's submitted spec.
+    pub fn spec_path(&self, id: &str) -> PathBuf {
+        self.root.join("specs").join(format!("{id}.json"))
+    }
+
+    /// Path of a job's synthesis checkpoint.
+    pub fn checkpoint_path(&self, id: &str) -> PathBuf {
+        self.root.join("checkpoints").join(format!("{id}.json"))
+    }
+
+    /// Path of a job's telemetry trace (JSONL, appended across attempts).
+    pub fn trace_path(&self, id: &str) -> PathBuf {
+        self.root.join("traces").join(format!("{id}.jsonl"))
+    }
+
+    /// Path of a verified job's solution report.
+    pub fn result_path(&self, id: &str) -> PathBuf {
+        self.root.join("results").join(format!("{id}.json"))
+    }
+
+    /// Durably writes a job's lifecycle record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures; callers decide whether a failed
+    /// journal write is transient.
+    pub fn write_record(&self, record: &JobRecord) -> Result<(), JournalError> {
+        let path = self.record_path(&record.id);
+        let json = serde_json::to_string_pretty(record)
+            .map_err(|e| JournalError { path: path.clone(), reason: e.to_string() })?;
+        write_durable(&path, &json)
+    }
+
+    /// Durably writes a job's spec (once, at submission).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn write_spec(&self, id: &str, spec: &JobSpec) -> Result<(), JournalError> {
+        let path = self.spec_path(id);
+        let json = serde_json::to_string_pretty(spec)
+            .map_err(|e| JournalError { path: path.clone(), reason: e.to_string() })?;
+        write_durable(&path, &json)
+    }
+
+    /// Durably writes a verified job's solution report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn write_result(&self, id: &str, report: &serde_json::Value) -> Result<(), JournalError> {
+        let path = self.result_path(id);
+        let json = serde_json::to_string_pretty(report)
+            .map_err(|e| JournalError { path: path.clone(), reason: e.to_string() })?;
+        write_durable(&path, &json)
+    }
+
+    /// Loads a job's spec, tolerating a torn primary.
+    ///
+    /// # Errors
+    ///
+    /// Fails when neither the primary nor the backup parses.
+    pub fn load_spec(&self, id: &str) -> Result<JobSpec, JournalError> {
+        read_resilient(&self.spec_path(id)).map(|(spec, _)| spec)
+    }
+
+    /// Loads a verified job's solution report, if present.
+    pub fn load_result(&self, id: &str) -> Option<serde_json::Value> {
+        read_resilient(&self.result_path(id)).ok().map(|(v, _)| v)
+    }
+
+    /// Scans the journal and returns every job record, with a list of
+    /// recovery notes (records read from a `.bak`, unreadable files).
+    /// Unreadable records are reported, never silently dropped on the
+    /// floor — but they cannot be resumed.
+    pub fn load_all(&self) -> (Vec<JobRecord>, Vec<String>) {
+        let mut records = Vec::new();
+        let mut notes = Vec::new();
+        let dir = self.root.join("jobs");
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) => {
+                notes.push(format!("cannot scan `{}`: {e}", dir.display()));
+                return (records, notes);
+            }
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+            if !name.ends_with(".json") || name.ends_with(".tmp") {
+                continue;
+            }
+            match read_resilient::<JobRecord>(&path) {
+                Ok((record, false)) => records.push(record),
+                Ok((record, true)) => {
+                    notes.push(format!(
+                        "record `{}` was torn; recovered from backup at state `{}`",
+                        path.display(),
+                        record.state
+                    ));
+                    records.push(record);
+                }
+                Err(e) => notes.push(format!("unreadable job record: {e}")),
+            }
+        }
+        records.sort_by_key(|r| r.seq);
+        (records, notes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobState;
+
+    fn tmp_root(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("momsynth_journal_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    #[test]
+    fn records_survive_a_torn_primary() {
+        let root = tmp_root("torn");
+        let journal = Journal::open(&root).unwrap();
+        let mut record = JobRecord::new("job-000001".into(), 1, 3);
+        journal.write_record(&record).unwrap();
+        record.transition(JobState::Running, "attempt 1");
+        journal.write_record(&record).unwrap();
+
+        // Tear the primary: load_all falls back to the previous good
+        // record and reports the recovery.
+        let path = journal.record_path("job-000001");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+        let (records, notes) = journal.load_all();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].state, JobState::Queued, "backup is the previous state");
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("recovered"), "{}", notes[0]);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn load_all_returns_records_in_submission_order() {
+        let root = tmp_root("order");
+        let journal = Journal::open(&root).unwrap();
+        for seq in [3u64, 1, 2] {
+            let record = JobRecord::new(format!("job-{seq:06}"), seq, 0);
+            journal.write_record(&record).unwrap();
+        }
+        let (records, notes) = journal.load_all();
+        assert!(notes.is_empty(), "{notes:?}");
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn unreadable_records_are_reported_not_dropped_silently() {
+        let root = tmp_root("garbage");
+        let journal = Journal::open(&root).unwrap();
+        std::fs::write(journal.record_path("job-000009"), "not json").unwrap();
+        let (records, notes) = journal.load_all();
+        assert!(records.is_empty());
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("unreadable"), "{}", notes[0]);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,195 @@
+//! Transports for the job-server protocol: a Unix-domain socket for
+//! resident operation and a stdin/stdout oneshot mode for scripting.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use crate::protocol::{handle_line, to_line, Reply};
+use crate::server::Server;
+
+/// Forwards streamed subscription lines to `out` until the subscribed
+/// job is terminal, the peer hangs up, or `stop` is raised.
+fn pump_stream(
+    server: &Server,
+    out: &mut impl Write,
+    rx: &mpsc::Receiver<String>,
+    job: Option<&str>,
+    stop: &AtomicBool,
+) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(line) => {
+                if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(id) = job {
+            let terminal = server
+                .status(id)
+                .is_none_or(|s| s.record.state.is_terminal());
+            if terminal {
+                // Drain whatever the worker already broadcast.
+                while let Ok(line) = rx.try_recv() {
+                    if writeln!(out, "{line}").is_err() {
+                        return;
+                    }
+                }
+                let _ = out.flush();
+                return;
+            }
+        }
+    }
+}
+
+/// Serves the protocol on `input`/`output` until EOF or a `shutdown`
+/// command (oneshot/scripting mode). Returns whether a `shutdown`
+/// command was received.
+pub fn serve_stdio(
+    server: &Server,
+    input: impl std::io::Read,
+    mut output: impl Write,
+    stop: &AtomicBool,
+) -> bool {
+    let reader = BufReader::new(input);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match handle_line(server, &line) {
+            Reply::Line(v) => {
+                if writeln!(output, "{}", to_line(&v)).and_then(|()| output.flush()).is_err() {
+                    break;
+                }
+            }
+            Reply::Stream { ack, rx, job } => {
+                if writeln!(output, "{}", to_line(&ack)).and_then(|()| output.flush()).is_err() {
+                    break;
+                }
+                pump_stream(server, &mut output, &rx, job.as_deref(), stop);
+            }
+            Reply::Shutdown(v) => {
+                let _ = writeln!(output, "{}", to_line(&v)).and_then(|()| output.flush());
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Accepts connections on a Unix-domain socket at `path` and serves the
+/// protocol to each on its own thread, until `stop` is raised (SIGTERM,
+/// Ctrl-C, or a client's `shutdown` command). Removes a stale socket
+/// file before binding and cleans up on exit.
+///
+/// # Errors
+///
+/// Fails when the socket cannot be bound.
+#[cfg(unix)]
+pub fn serve_unix(
+    server: &Arc<Server>,
+    path: &std::path::Path,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    std::fs::remove_file(path).ok();
+    let listener = UnixListener::bind(path)?;
+    // Nonblocking accept so the loop can observe `stop` promptly: a
+    // blocking accept would pin the thread until the next client.
+    listener.set_nonblocking(true)?;
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let server = Arc::clone(server);
+                let stop = Arc::clone(stop);
+                connections.push(std::thread::spawn(move || {
+                    // A read deadline keeps idle connections from
+                    // outliving a server shutdown.
+                    stream
+                        .set_read_timeout(Some(Duration::from_millis(200)))
+                        .ok();
+                    serve_connection(&server, &stream, &stop);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+        connections.retain(|c| !c.is_finished());
+    }
+    for connection in connections {
+        let _ = connection.join();
+    }
+    std::fs::remove_file(path).ok();
+    Ok(())
+}
+
+/// Serves one Unix-socket connection line by line. A `shutdown` command
+/// raises `stop`, ending the accept loop and every other connection.
+#[cfg(unix)]
+fn serve_connection(
+    server: &Arc<Server>,
+    stream: &std::os::unix::net::UnixStream,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut writer = stream;
+    let mut line = String::new();
+    while !stop.load(Ordering::Relaxed) {
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            // A timed-out read may have appended a partial line; keep it
+            // and let the next read complete it.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        let request = std::mem::take(&mut line);
+        if request.trim().is_empty() {
+            continue;
+        }
+        match handle_line(server, &request) {
+            Reply::Line(v) => {
+                if writeln!(writer, "{}", to_line(&v)).and_then(|()| writer.flush()).is_err() {
+                    return;
+                }
+            }
+            Reply::Stream { ack, rx, job } => {
+                if writeln!(writer, "{}", to_line(&ack)).and_then(|()| writer.flush()).is_err() {
+                    return;
+                }
+                pump_stream(server, &mut writer, &rx, job.as_deref(), stop);
+            }
+            Reply::Shutdown(v) => {
+                let _ = writeln!(writer, "{}", to_line(&v)).and_then(|()| writer.flush());
+                stop.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}

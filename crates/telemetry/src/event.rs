@@ -114,9 +114,13 @@ impl Default for Counters {
 
 /// Per-generation fitness statistics.
 ///
-/// Carries no wall-clock fields on purpose: a fixed-seed run and its
-/// checkpoint-resumed counterpart must produce identical generation
-/// events.
+/// All fields except [`GenerationEvent::evals_per_sec`] are deterministic
+/// for a fixed seed: a run and its checkpoint-resumed counterpart produce
+/// identical generation events once [`GenerationEvent::normalized`]
+/// zeroes the throughput. Live consumers (a job server's status endpoint,
+/// a progress view) read throughput and cache efficiency directly from
+/// the periodic event instead of waiting for the end-of-run
+/// [`RunSummary`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GenerationEvent {
     /// Generation index (0 = initial population).
@@ -131,8 +135,32 @@ pub struct GenerationEvent {
     pub worst: f64,
     /// Generations without improvement so far.
     pub stagnation: u64,
+    /// Live evaluation throughput since the run (or resume) started, in
+    /// evaluations per second. Wall-clock derived: zeroed by
+    /// [`GenerationEvent::normalized`] when comparing deterministic
+    /// replays. Absent in traces written before this field existed.
+    #[serde(default)]
+    pub evals_per_sec: f64,
+    /// Fraction of cost lookups served by the evaluation cache so far.
+    /// Deterministic for a fixed seed (mirrors
+    /// [`Counters::cache_hit_rate`]). Absent in older traces.
+    #[serde(default)]
+    pub cache_hit_rate: f64,
     /// Cumulative run counters at this generation.
     pub counters: Counters,
+}
+
+impl GenerationEvent {
+    /// A copy with the wall-clock-derived throughput zeroed, for
+    /// comparing the generation streams of deterministic replays (a run
+    /// against its checkpoint-resumed counterpart). All other fields —
+    /// `cache_hit_rate` included — are deterministic and survive.
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        let mut g = self.clone();
+        g.evals_per_sec = 0.0;
+        g
+    }
 }
 
 /// A non-fatal condition worth reporting.
@@ -140,6 +168,21 @@ pub struct GenerationEvent {
 pub struct Warning {
     /// Human-readable description.
     pub message: String,
+}
+
+/// An [`Event`] tagged with the job it belongs to.
+///
+/// A multi-job producer (the `momsynth serve` daemon) fans events from
+/// concurrent synthesis runs into shared consumers — subscriber streams,
+/// a combined log — which need to know *whose* generation just completed.
+/// Per-job trace files stay plain [`Event`] lines so single-run tooling
+/// and the resume tail-equivalence oracle keep working unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobEvent {
+    /// Identifier of the job that produced the event.
+    pub job: String,
+    /// The underlying telemetry event.
+    pub event: Event,
 }
 
 /// Power breakdown of one mode in a [`RunSummary`].
@@ -243,6 +286,8 @@ mod tests {
                 mean: 2.5,
                 worst: 9.0,
                 stagnation: 1,
+                evals_per_sec: 120.5,
+                cache_hit_rate: 0.25,
                 counters: Counters { rejected: 2, ..Counters::default() },
             }),
             Event::Phase(PhaseTiming {
@@ -258,6 +303,42 @@ mod tests {
             let back: Event = serde_json::from_str(&json).unwrap();
             assert_eq!(back, event);
         }
+    }
+
+    #[test]
+    fn generation_normalization_zeroes_only_throughput() {
+        let g = GenerationEvent {
+            generation: 3,
+            evaluations: 90,
+            best: 2.0,
+            mean: 3.0,
+            worst: 5.0,
+            stagnation: 0,
+            evals_per_sec: 750.0,
+            cache_hit_rate: 0.5,
+            counters: Counters::default(),
+        };
+        let norm = g.normalized();
+        assert_eq!(norm.evals_per_sec, 0.0);
+        assert_eq!(norm.cache_hit_rate, g.cache_hit_rate);
+        assert_eq!(norm.best, g.best);
+        assert_eq!(norm.counters, g.counters);
+    }
+
+    #[test]
+    fn generation_events_without_live_progress_fields_still_parse() {
+        // A trace line written before evals_per_sec/cache_hit_rate existed.
+        let json = r#"{"Generation":{"generation":1,"evaluations":10,
+            "best":1.0,"mean":2.0,"worst":3.0,"stagnation":0,
+            "counters":{"rejected":0,"timing_violations":0,
+            "area_violations":0,"transition_violations":0,
+            "dvs_iterations":0,"cache_hits":0,"cache_misses":0,
+            "evaluated":0,"improve_applied":[0,0,0,0],
+            "improve_accepted":[0,0,0,0]}}}"#;
+        let event: Event = serde_json::from_str(json).unwrap();
+        let Event::Generation(g) = event else { panic!("not a generation") };
+        assert_eq!(g.evals_per_sec, 0.0);
+        assert_eq!(g.cache_hit_rate, 0.0);
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //!
 //! * [`RunStart`] — run identity: system, seed, flow flags, genome size;
 //! * [`GenerationEvent`] — per-generation fitness statistics plus the
-//!   cumulative [`Counters`]. Deliberately carries **no wall-clock
-//!   fields**, so the traces of a run and its checkpoint-resumed
-//!   counterpart are comparable byte for byte;
+//!   cumulative [`Counters`] and live progress (`evals_per_sec`,
+//!   `cache_hit_rate`). Apart from the wall-clock-derived throughput —
+//!   zeroed by [`GenerationEvent::normalized`] — every field is
+//!   deterministic, so the traces of a run and its checkpoint-resumed
+//!   counterpart are comparable once normalised;
 //! * [`PhaseTiming`] — accumulated monotonic-clock spans of one inner
 //!   [`Phase`];
 //! * [`Warning`] — a non-fatal condition (e.g. a failed checkpoint save);
@@ -51,6 +53,8 @@
 //!         mean: 2.0,
 //!         worst: 4.0,
 //!         stagnation: 0,
+//!         evals_per_sec: 0.0,
+//!         cache_hit_rate: 0.0,
 //!         counters: Counters::default(),
 //!     }));
 //! }
@@ -67,8 +71,8 @@ mod timing;
 
 pub use counters::CounterSet;
 pub use event::{
-    Counters, Event, GenerationEvent, ModeSummary, RunStart, RunSummary, Warning, OPERATOR_COUNT,
-    OPERATOR_NAMES,
+    Counters, Event, GenerationEvent, JobEvent, ModeSummary, RunStart, RunSummary, Warning,
+    OPERATOR_COUNT, OPERATOR_NAMES,
 };
 pub use sink::{Fanout, JsonlSink, MemorySink, NullSink, ProgressSink, Sink, WarningSink, NULL};
 pub use timing::{Phase, PhaseAccumulator, PhaseGuard, PhaseTiming};

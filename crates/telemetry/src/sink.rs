@@ -90,6 +90,17 @@ impl JsonlSink {
         let file = File::create(path)?;
         Ok(Self { writer: RefCell::new(BufWriter::new(file)) })
     }
+
+    /// Opens `path` for appending (creating it if absent), so a resumed
+    /// run continues the trace its interrupted predecessor started.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-open error.
+    pub fn append(path: &Path) -> std::io::Result<Self> {
+        let file = File::options().create(true).append(true).open(path)?;
+        Ok(Self { writer: RefCell::new(BufWriter::new(file)) })
+    }
 }
 
 impl Sink for JsonlSink {
@@ -242,6 +253,28 @@ mod tests {
             .collect();
         assert_eq!(events.len(), 2);
         assert!(matches!(&events[0], Event::Warning(w) if w.message == "one"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_append_continues_an_existing_trace() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("momsynth_telemetry_append_{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        {
+            let sink = JsonlSink::append(&path).unwrap();
+            sink.record(&Event::Warning(Warning { message: "first".into() }));
+        }
+        {
+            let sink = JsonlSink::append(&path).unwrap();
+            sink.record(&Event::Warning(Warning { message: "second".into() }));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<Event> =
+            text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+        assert_eq!(events.len(), 2, "append must not truncate the first line");
+        assert!(matches!(&events[0], Event::Warning(w) if w.message == "first"));
+        assert!(matches!(&events[1], Event::Warning(w) if w.message == "second"));
         std::fs::remove_file(&path).ok();
     }
 

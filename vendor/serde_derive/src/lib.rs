@@ -8,7 +8,9 @@
 //! - structs with named fields (serialised as objects, declaration order)
 //! - tuple structs (single field: the inner value; several: an array)
 //! - enums with unit and tuple variants (external tagging)
-//! - `#[serde(transparent)]` and `#[serde(with = "path")]`
+//! - `#[serde(transparent)]`, `#[serde(with = "path")]` and
+//!   `#[serde(default)]` on named fields (missing field deserialises to
+//!   `Default::default()`, enabling backward-compatible format evolution)
 //!
 //! Unsupported shapes (generics, struct variants) fail loudly at expansion
 //! time rather than producing wrong code.
@@ -58,6 +60,7 @@ enum Body {
 struct Field {
     name: String,
     with: Option<String>,
+    default: bool,
 }
 
 // ---------------------------------------------------------------------
@@ -65,10 +68,11 @@ struct Field {
 // ---------------------------------------------------------------------
 
 /// Consumes leading `#[...]` attributes, returning the `with` path and
-/// whether `#[serde(transparent)]` was present.
-fn take_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool, Option<String>) {
+/// whether `#[serde(transparent)]` / `#[serde(default)]` were present.
+fn take_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool, Option<String>, bool) {
     let mut transparent = false;
     let mut with = None;
+    let mut default = false;
     while pos + 1 < tokens.len() {
         match (&tokens[pos], &tokens[pos + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
@@ -77,7 +81,7 @@ fn take_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool, Option<Stri
                 let inner: Vec<TokenTree> = g.stream().into_iter().collect();
                 if let [TokenTree::Ident(id), TokenTree::Group(args)] = &inner[..] {
                     if id.to_string() == "serde" {
-                        parse_serde_attr(args.stream(), &mut transparent, &mut with);
+                        parse_serde_attr(args.stream(), &mut transparent, &mut with, &mut default);
                     }
                 }
                 pos += 2;
@@ -85,13 +89,19 @@ fn take_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool, Option<Stri
             _ => break,
         }
     }
-    (pos, transparent, with)
+    (pos, transparent, with, default)
 }
 
-fn parse_serde_attr(args: TokenStream, transparent: &mut bool, with: &mut Option<String>) {
+fn parse_serde_attr(
+    args: TokenStream,
+    transparent: &mut bool,
+    with: &mut Option<String>,
+    default: &mut bool,
+) {
     let tokens: Vec<TokenTree> = args.into_iter().collect();
     match &tokens[..] {
         [TokenTree::Ident(id)] if id.to_string() == "transparent" => *transparent = true,
+        [TokenTree::Ident(id)] if id.to_string() == "default" => *default = true,
         [TokenTree::Ident(id), TokenTree::Punct(eq), TokenTree::Literal(path)]
             if id.to_string() == "with" && eq.as_char() == '=' =>
         {
@@ -119,7 +129,7 @@ fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
 
 fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
-    let (pos, transparent, _) = take_attrs(&tokens, 0);
+    let (pos, transparent, _, _) = take_attrs(&tokens, 0);
     let pos = skip_visibility(&tokens, pos);
 
     let kind = match &tokens[pos] {
@@ -184,13 +194,13 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_top_level(stream)
         .into_iter()
         .map(|tokens| {
-            let (pos, _, with) = take_attrs(&tokens, 0);
+            let (pos, _, with, default) = take_attrs(&tokens, 0);
             let pos = skip_visibility(&tokens, pos);
             let name = match &tokens[pos] {
                 TokenTree::Ident(id) => id.to_string(),
                 other => panic!("expected field name, found {other}"),
             };
-            Field { name, with }
+            Field { name, with, default }
         })
         .collect()
 }
@@ -203,7 +213,7 @@ fn parse_variants(stream: TokenStream) -> Vec<(String, usize)> {
     split_top_level(stream)
         .into_iter()
         .map(|tokens| {
-            let (pos, _, _) = take_attrs(&tokens, 0);
+            let (pos, _, _, _) = take_attrs(&tokens, 0);
             let name = match &tokens[pos] {
                 TokenTree::Ident(id) => id.to_string(),
                 other => panic!("expected variant name, found {other}"),
@@ -313,6 +323,16 @@ fn generate_deserialize(item: &Item) -> String {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    if f.default {
+                        // `#[serde(default)]`: a missing field is not an
+                        // error, it takes the type's `Default` value.
+                        return format!(
+                            "{field}: match value.get_field(\"{field}\") {{ \
+                             Some(v) => ::serde::Deserialize::from_value(v)?, \
+                             None => ::core::default::Default::default() }}",
+                            field = f.name
+                        );
+                    }
                     let access = format!(
                         "value.get_field(\"{field}\").ok_or_else(|| \
                          ::serde::Error::missing_field(\"{name}\", \"{field}\"))?",
