@@ -10,20 +10,27 @@
 //! wall time, evaluation throughput, cache hit rate and speedup over the
 //! serial run.
 //!
+//! Also times the smartphone workload with a fully enabled metrics
+//! registry attached against a bare run, gating the instrumentation
+//! overhead.
+//!
 //! Exit codes: `0` success; `1` when a run failed verification or the
-//! parallel and serial runs disagree on the best solution; `2` when the
-//! regression gate trips (the parallel run is >10% slower than serial on
-//! a machine that actually has multiple cores — on a single-core
-//! machine the gate is reported but not enforced).
+//! parallel and serial runs disagree on the best solution; `2` when a
+//! regression gate trips: the parallel run is >10% slower than serial
+//! (on a machine that actually has multiple cores — on a single-core
+//! machine the gate is reported but not enforced, with the reason
+//! recorded in `gate_skip_reason`), or the metrics-instrumented run is
+//! >2% slower than the bare run.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use momsynth_bench::{verified_summary, HarnessOptions};
-use momsynth_core::Synthesizer;
+use momsynth_core::{SynthControl, Synthesizer};
 use momsynth_gen::automotive::automotive_ecu;
 use momsynth_gen::smartphone::smartphone;
 use momsynth_gen::suite::mul;
+use momsynth_metrics::{MetricsSink, Registry};
 use momsynth_model::System;
 use serde::Serialize;
 
@@ -32,6 +39,17 @@ const PARALLEL_THREADS: usize = 4;
 
 /// Maximum tolerated slowdown of the parallel run, in percent.
 const MAX_SLOWDOWN_PERCENT: f64 = 10.0;
+
+/// Maximum tolerated metrics-instrumentation overhead, in percent.
+const MAX_METRICS_OVERHEAD_PERCENT: f64 = 2.0;
+
+/// Timed runs per arm of the metrics-overhead measurement (min-of-N
+/// defeats one-off scheduler noise).
+const METRICS_OVERHEAD_RUNS: usize = 3;
+
+/// Below this baseline wall time a 2% margin is smaller than timer and
+/// scheduler noise, so the overhead gate is reported but not enforced.
+const METRICS_GATE_MIN_BASELINE_S: f64 = 0.05;
 
 #[derive(Debug, Serialize)]
 struct PerfRow {
@@ -73,11 +91,116 @@ struct PerfReport {
     machine_parallelism: u64,
     /// The gate only binds where parallelism is physically possible.
     gate_enforced: bool,
+    /// Why the slowdown gate was not enforced (`None` when it was).
+    gate_skip_reason: Option<String>,
     max_slowdown_percent: f64,
     /// Slowdown of the parallel runs over the serial runs, total wall
     /// time across all workloads, in percent (negative = speedup).
     aggregate_slowdown_percent: f64,
+    metrics_overhead: MetricsOverhead,
     workloads: Vec<PerfWorkload>,
+}
+
+/// Wall-time cost of an enabled metrics registry on the smartphone
+/// workload (serial, min-of-N on both arms).
+#[derive(Debug, Serialize)]
+struct MetricsOverhead {
+    /// Timed runs per arm.
+    runs: u64,
+    /// Min wall time without any telemetry sink attached.
+    baseline_s: f64,
+    /// Min wall time with an enabled registry's [`MetricsSink`] attached.
+    instrumented_s: f64,
+    /// `(instrumented - baseline) / baseline`, in percent.
+    overhead_percent: f64,
+    max_overhead_percent: f64,
+    gate_enforced: bool,
+    /// Why the overhead gate was not enforced (`None` when it was).
+    gate_skip_reason: Option<String>,
+}
+
+/// Effective machine parallelism. `MOMSYNTH_MACHINE_PARALLELISM`
+/// overrides the probe (CI pins it so the gate decision is explicit);
+/// otherwise the OS report is used, falling back to counting
+/// `/proc/cpuinfo` processors (containers sometimes deny the syscall
+/// while the file is still accurate), then to 1.
+fn machine_parallelism() -> usize {
+    if let Some(n) = std::env::var("MOMSYNTH_MACHINE_PARALLELISM")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    if let Ok(n) = std::thread::available_parallelism() {
+        return n.get();
+    }
+    std::fs::read_to_string("/proc/cpuinfo")
+        .map(|text| text.lines().filter(|l| l.starts_with("processor")).count())
+        .ok()
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Times the smartphone workload bare and with a fully enabled metrics
+/// registry attached, min-of-N per arm.
+fn measure_metrics_overhead(options: &HarnessOptions) -> MetricsOverhead {
+    let system = smartphone();
+    let time_once = |registry: Option<&Registry>| -> f64 {
+        let mut cfg = options.config(options.base_seed, true, true);
+        cfg.threads = 1;
+        let synthesizer = Synthesizer::new(&system, cfg);
+        let sink = registry.map(MetricsSink::new);
+        let start = Instant::now();
+        let control = SynthControl {
+            sink: sink.as_ref().map(|s| s as _),
+            ..SynthControl::default()
+        };
+        synthesizer.run_controlled(control).expect("schedulable system");
+        start.elapsed().as_secs_f64()
+    };
+    let registry = Registry::new();
+    let mut baseline_runs = Vec::new();
+    let mut instrumented_runs = Vec::new();
+    // Alternate the arms so slow drift (thermal, noisy neighbours) hits
+    // both equally.
+    for _ in 0..METRICS_OVERHEAD_RUNS {
+        baseline_runs.push(time_once(None));
+        instrumented_runs.push(time_once(Some(&registry)));
+    }
+    let min = |runs: &[f64]| runs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = |runs: &[f64]| runs.iter().copied().fold(0.0f64, f64::max);
+    let baseline_s = min(&baseline_runs);
+    let instrumented_s = min(&instrumented_runs);
+    let overhead_percent =
+        if baseline_s > 0.0 { (instrumented_s / baseline_s - 1.0) * 100.0 } else { 0.0 };
+    // The baseline arm's own min-to-max spread is the measurement noise
+    // floor; a 2% verdict below it would gate on the scheduler, not on
+    // the instrumentation.
+    let noise_percent =
+        if baseline_s > 0.0 { (max(&baseline_runs) / baseline_s - 1.0) * 100.0 } else { 0.0 };
+    let gate_skip_reason = if baseline_s < METRICS_GATE_MIN_BASELINE_S {
+        Some(format!(
+            "baseline run too short ({baseline_s:.4} s < {METRICS_GATE_MIN_BASELINE_S} s) \
+             to resolve a {MAX_METRICS_OVERHEAD_PERCENT}% margin above timer noise"
+        ))
+    } else if noise_percent > MAX_METRICS_OVERHEAD_PERCENT {
+        Some(format!(
+            "baseline run-to-run spread is {noise_percent:.1}%, wider than the \
+             {MAX_METRICS_OVERHEAD_PERCENT}% margin the gate would have to resolve"
+        ))
+    } else {
+        None
+    };
+    MetricsOverhead {
+        runs: METRICS_OVERHEAD_RUNS as u64,
+        baseline_s,
+        instrumented_s,
+        overhead_percent,
+        max_overhead_percent: MAX_METRICS_OVERHEAD_PERCENT,
+        gate_enforced: gate_skip_reason.is_none(),
+        gate_skip_reason,
+    }
 }
 
 fn bench_workload(
@@ -171,8 +294,14 @@ fn bench_workload(
 
 fn main() -> ExitCode {
     let options = HarnessOptions::from_args();
-    let machine = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let machine = machine_parallelism();
     let gate_enforced = machine >= 2;
+    let gate_skip_reason = (!gate_enforced).then(|| {
+        format!(
+            "machine parallelism is {machine}: a {PARALLEL_THREADS}-thread run cannot be \
+             expected to keep up with serial on a single core"
+        )
+    });
 
     // The DVS inner loop dominates the smartphone's evaluation cost, so
     // it is the workload where batching pays off most; the automotive
@@ -192,12 +321,24 @@ fn main() -> ExitCode {
     let worst_slowdown =
         if total_serial > 0.0 { (total_parallel / total_serial - 1.0) * 100.0 } else { 0.0 };
 
+    let metrics_overhead = measure_metrics_overhead(&options);
+    println!(
+        "metrics overhead: bare {:.3}s, instrumented {:.3}s — {:+.2}% (limit {}%{})",
+        metrics_overhead.baseline_s,
+        metrics_overhead.instrumented_s,
+        metrics_overhead.overhead_percent,
+        metrics_overhead.max_overhead_percent,
+        if metrics_overhead.gate_enforced { "" } else { ", not enforced" },
+    );
+
     let report = PerfReport {
         parallel_threads: PARALLEL_THREADS as u64,
         machine_parallelism: machine as u64,
         gate_enforced,
+        gate_skip_reason,
         max_slowdown_percent: MAX_SLOWDOWN_PERCENT,
         aggregate_slowdown_percent: worst_slowdown,
+        metrics_overhead,
         workloads,
     };
     let path = options
@@ -226,8 +367,21 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    if !gate_enforced {
-        println!("note: single-core machine — the slowdown gate was reported, not enforced");
+    if let Some(reason) = &report.gate_skip_reason {
+        println!("note: slowdown gate reported, not enforced — {reason}");
+    }
+    if report.metrics_overhead.gate_enforced
+        && report.metrics_overhead.overhead_percent > MAX_METRICS_OVERHEAD_PERCENT
+    {
+        eprintln!(
+            "error: metrics instrumentation costs {:.2}% wall time \
+             (limit {MAX_METRICS_OVERHEAD_PERCENT}%)",
+            report.metrics_overhead.overhead_percent
+        );
+        return ExitCode::from(2);
+    }
+    if let Some(reason) = &report.metrics_overhead.gate_skip_reason {
+        println!("note: metrics-overhead gate reported, not enforced — {reason}");
     }
     ExitCode::SUCCESS
 }

@@ -107,8 +107,9 @@ pub enum Command {
     },
     /// `serve --root DIR [--socket PATH | --oneshot] [--workers N]
     /// [--queue-capacity N] [--checkpoint-every N]
-    /// [--checkpoint-every-seconds T] [--max-retries N]` — run the
-    /// resident job server.
+    /// [--checkpoint-every-seconds T] [--max-retries N]
+    /// [--metrics-listen ADDR] [--no-metrics]` — run the resident job
+    /// server.
     Serve {
         /// Journal directory (jobs, specs, checkpoints, traces, results).
         root: String,
@@ -126,6 +127,10 @@ pub enum Command {
         checkpoint_every_seconds: Option<f64>,
         /// Retries after a transient failure before failing for good.
         max_retries: u32,
+        /// TCP address for the Prometheus text exposition endpoint.
+        metrics_listen: Option<String>,
+        /// Whether the metrics registry is enabled at all.
+        metrics: bool,
     },
     /// `job <request> --socket PATH` — client for a running job server.
     Job {
@@ -133,6 +138,17 @@ pub enum Command {
         socket: String,
         /// The request to send.
         request: JobRequest,
+    },
+    /// `profile <trace.jsonl> [--collapsed] [-o out.txt]` — fold a JSONL
+    /// event trace into per-phase self time.
+    Profile {
+        /// Path of the trace file (`synth --trace-out` or a server job
+        /// trace).
+        trace: String,
+        /// Emit collapsed-stack lines instead of the human table.
+        collapsed: bool,
+        /// Write the output to this file instead of stdout.
+        output: Option<String>,
     },
     /// `help` or no arguments.
     Help,
@@ -190,6 +206,11 @@ pub enum JobRequest {
     List,
     /// `job ping`.
     Ping,
+    /// `job metrics [--text]` — fetch the server's metrics snapshot.
+    Metrics {
+        /// Print the Prometheus text exposition instead of JSON.
+        text: bool,
+    },
     /// `job shutdown` — ask the server to stop gracefully.
     Shutdown,
 }
@@ -504,6 +525,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut checkpoint_every = 5;
             let mut checkpoint_every_seconds = Some(2.0);
             let mut max_retries = 2;
+            let mut metrics_listen = None;
+            let mut metrics = true;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -541,6 +564,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .parse()
                             .map_err(|_| ParseError("invalid --max-retries".into()))?;
                     }
+                    "--metrics-listen" => {
+                        metrics_listen =
+                            Some(take_value(args, &mut i, "--metrics-listen")?.to_owned());
+                    }
+                    "--no-metrics" => metrics = false,
                     other => return Err(ParseError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
@@ -552,6 +580,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             if !oneshot && socket.is_none() {
                 return Err(ParseError("serve requires --socket PATH or --oneshot".into()));
             }
+            if !metrics && metrics_listen.is_some() {
+                return Err(ParseError(
+                    "--no-metrics and --metrics-listen are mutually exclusive".into(),
+                ));
+            }
             Ok(Command::Serve {
                 root,
                 socket,
@@ -561,6 +594,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 checkpoint_every,
                 checkpoint_every_seconds,
                 max_retries,
+                metrics_listen,
+                metrics,
             })
         }
         "job" => {
@@ -569,7 +604,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 .ok_or_else(|| {
                     ParseError(
                         "job requires a request (submit, status, result, cancel, wait, list, \
-                         ping, shutdown)"
+                         metrics, ping, shutdown)"
                             .into(),
                     )
                 })?
@@ -587,6 +622,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut timeout_seconds = None;
             let mut wait = false;
             let mut timeout_s = 600.0f64;
+            let mut text = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -633,6 +669,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .parse()
                             .map_err(|_| ParseError("invalid --timeout-s".into()))?;
                     }
+                    "--text" if verb == "metrics" => text = true,
                     other if !other.starts_with('-') && positional.is_none() => {
                         positional = Some(other.to_owned());
                     }
@@ -670,16 +707,37 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     }
                 }
                 "list" => JobRequest::List,
+                "metrics" => JobRequest::Metrics { text },
                 "ping" => JobRequest::Ping,
                 "shutdown" => JobRequest::Shutdown,
                 other => {
                     return Err(ParseError(format!(
                         "unknown job request `{other}` (use submit, status, result, cancel, \
-                         wait, list, ping or shutdown)"
+                         wait, list, metrics, ping or shutdown)"
                     )))
                 }
             };
             Ok(Command::Job { socket, request })
+        }
+        "profile" => {
+            let trace = args
+                .get(1)
+                .ok_or_else(|| ParseError("profile requires a trace file".into()))?
+                .clone();
+            let mut collapsed = false;
+            let mut output = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--collapsed" => collapsed = true,
+                    "-o" | "--output" => {
+                        output = Some(take_value(args, &mut i, "--output")?.to_owned());
+                    }
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Profile { trace, collapsed, output })
         }
         other => Err(ParseError(format!("unknown command `{other}` (try `momsynth help`)"))),
     }
@@ -716,7 +774,8 @@ COMMANDS:
     serve --root DIR         run the resident job server
                              (--socket PATH | --oneshot, --workers N,
                              --queue-capacity N, --checkpoint-every N,
-                             --checkpoint-every-seconds T, --max-retries N)
+                             --checkpoint-every-seconds T, --max-retries N,
+                             --metrics-listen ADDR, --no-metrics)
     job <request> --socket PATH
                              client for a running server: submit
                              <system.json> [--priority P --quick --dvs
@@ -724,7 +783,10 @@ COMMANDS:
                              --max-seconds T --max-evals N
                              --timeout-seconds T --wait], status <id>,
                              result <id>, cancel <id>, wait <id>
-                             [--timeout-s T], list, ping, shutdown
+                             [--timeout-s T], list, metrics [--text],
+                             ping, shutdown
+    profile <trace.jsonl>    fold a JSONL event trace into per-phase
+                             self time [--collapsed] [-o file]
     help                     show this text
 
 ANALYZE:
@@ -760,7 +822,9 @@ SYNTH OBSERVABILITY:
     as a single JSON document. --progress prints a one-line-per-generation
     view on stderr; --quiet silences all human output (traces and metrics
     files are still written). Resumed runs continue the original trace's
-    generation numbering and counters seamlessly.
+    generation numbering and counters seamlessly. `profile` folds a trace
+    written by --trace-out (or a server job trace) into per-phase self
+    time; --collapsed emits flamegraph collapsed-stack lines.
 
 SERVING:
     `serve` runs a resident, crash-safe job server: submissions are
@@ -772,6 +836,16 @@ SERVING:
     gracefully, checkpointing all running jobs first. `job` talks to the
     server over its Unix socket; `job wait` (and `submit --wait`) exits
     0/2/3 by the job's terminal state, mirroring `synth`.
+
+SERVER MONITORING:
+    The server keeps every scheduler, journal and synthesis instrument in
+    one metrics registry: queue depth, admissions/sheds/rejections, worker
+    utilisation, journal write/fsync latencies and per-state job lifecycle
+    latencies. `job metrics` fetches a snapshot over the socket (--text
+    for Prometheus exposition format); `serve --metrics-listen ADDR`
+    additionally serves GET /metrics over TCP for scraping. Snapshots are
+    also journalled under <root>/metrics/. `serve --no-metrics` disables
+    the registry entirely (instruments become no-ops).
 
 EXIT CODES:
     0  success, best solution feasible / check found no violations /
@@ -1033,12 +1107,16 @@ mod tests {
                 checkpoint_every: 3,
                 checkpoint_every_seconds: Some(1.5),
                 max_retries: 5,
+                metrics_listen: None,
+                metrics: true,
             }
         );
         match parse(&argv("serve --root jobs --oneshot")).unwrap() {
-            Command::Serve { oneshot, socket, .. } => {
+            Command::Serve { oneshot, socket, metrics, metrics_listen, .. } => {
                 assert!(oneshot);
                 assert_eq!(socket, None);
+                assert!(metrics, "metrics are on by default");
+                assert_eq!(metrics_listen, None);
             }
             other => panic!("unexpected parse: {other:?}"),
         }
@@ -1046,6 +1124,28 @@ mod tests {
         assert!(parse(&argv("serve --root jobs")).is_err(), "a transport is required");
         assert!(parse(&argv("serve --root jobs --oneshot --socket s.sock")).is_err());
         assert!(parse(&argv("serve --root jobs --oneshot --checkpoint-every-seconds 0")).is_err());
+    }
+
+    #[test]
+    fn serve_metrics_flags_parse() {
+        match parse(&argv("serve --root jobs --oneshot --metrics-listen 127.0.0.1:9187")).unwrap()
+        {
+            Command::Serve { metrics_listen, metrics, .. } => {
+                assert_eq!(metrics_listen.as_deref(), Some("127.0.0.1:9187"));
+                assert!(metrics);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        match parse(&argv("serve --root jobs --oneshot --no-metrics")).unwrap() {
+            Command::Serve { metrics, .. } => assert!(!metrics),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse(&argv("serve --root jobs --oneshot --metrics-listen")).is_err());
+        assert!(
+            parse(&argv("serve --root jobs --oneshot --no-metrics --metrics-listen 127.0.0.1:0"))
+                .is_err(),
+            "an exposition endpoint needs the registry"
+        );
     }
 
     #[test]
@@ -1091,11 +1191,39 @@ mod tests {
             parse(&argv("job list --socket s.sock")).unwrap(),
             Command::Job { socket: "s.sock".into(), request: JobRequest::List }
         );
+        assert_eq!(
+            parse(&argv("job metrics --socket s.sock")).unwrap(),
+            Command::Job { socket: "s.sock".into(), request: JobRequest::Metrics { text: false } }
+        );
+        assert_eq!(
+            parse(&argv("job metrics --socket s.sock --text")).unwrap(),
+            Command::Job { socket: "s.sock".into(), request: JobRequest::Metrics { text: true } }
+        );
         assert!(parse(&argv("job")).is_err());
         assert!(parse(&argv("job submit sys.json")).is_err(), "--socket is required");
         assert!(parse(&argv("job status --socket s.sock")).is_err(), "an id is required");
         assert!(parse(&argv("job frobnicate --socket s.sock")).is_err());
         assert!(parse(&argv("job list --socket s.sock --priority 3")).is_err());
+        assert!(parse(&argv("job list --socket s.sock --text")).is_err());
+    }
+
+    #[test]
+    fn profile_parses() {
+        assert_eq!(
+            parse(&argv("profile events.jsonl")).unwrap(),
+            Command::Profile { trace: "events.jsonl".into(), collapsed: false, output: None }
+        );
+        assert_eq!(
+            parse(&argv("profile events.jsonl --collapsed -o folded.txt")).unwrap(),
+            Command::Profile {
+                trace: "events.jsonl".into(),
+                collapsed: true,
+                output: Some("folded.txt".into()),
+            }
+        );
+        assert!(parse(&argv("profile")).is_err());
+        assert!(parse(&argv("profile events.jsonl --bogus")).is_err());
+        assert!(parse(&argv("profile events.jsonl -o")).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | 3    | `synth` was cancelled (Ctrl-C); best-so-far was reported   |
 
 mod args;
+mod profile;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -321,6 +322,7 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     .map(|p| CheckpointSpec::every_generations(PathBuf::from(p), checkpoint_every)),
                 resume,
                 sink: Some(&sink),
+                trace_id: None,
             };
             if !quiet {
                 eprintln!(
@@ -392,20 +394,41 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             checkpoint_every,
             checkpoint_every_seconds,
             max_retries,
+            metrics_listen,
+            metrics,
         } => {
+            use std::sync::atomic::{AtomicBool, Ordering};
+            use std::sync::Arc;
+
             let mut config = momsynth_serve::ServerConfig::new(PathBuf::from(&root));
             config.workers = workers;
             config.queue_capacity = queue_capacity;
             config.checkpoint_every = checkpoint_every;
             config.checkpoint_every_seconds = checkpoint_every_seconds;
             config.max_retries = max_retries;
+            config.metrics = metrics;
             let server = momsynth_serve::Server::start(config)?;
             for note in server.recovery_notes() {
                 eprintln!("recovery: {note}");
             }
             sigint::install();
             sigint::install_term();
-            if oneshot {
+            // Prometheus exposition endpoint, stopped when serving ends.
+            let exposition_stop = Arc::new(AtomicBool::new(false));
+            let exposition = match &metrics_listen {
+                Some(addr) => {
+                    let (bound, handle) = momsynth_serve::spawn_exposition(
+                        addr,
+                        server.metrics(),
+                        Arc::clone(&exposition_stop),
+                    )
+                    .map_err(|e| format!("cannot listen on `{addr}`: {e}"))?;
+                    eprintln!("metrics exposition on http://{bound}/metrics");
+                    Some(handle)
+                }
+                None => None,
+            };
+            let served = if oneshot {
                 let stdin = std::io::stdin();
                 let stdout = std::io::stdout();
                 momsynth_serve::socket::serve_stdio(
@@ -415,11 +438,34 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     &sigint::STOP,
                 );
                 server.shutdown();
-                return Ok(ExitCode::SUCCESS);
+                Ok(ExitCode::SUCCESS)
+            } else {
+                serve_on_socket(server, &socket.expect("parser guarantees a socket"), &root)
+            };
+            exposition_stop.store(true, Ordering::Relaxed);
+            if let Some(handle) = exposition {
+                let _ = handle.join();
             }
-            serve_on_socket(server, &socket.expect("parser guarantees a socket"), &root)
+            served
         }
         Command::Job { socket, request } => run_job_client(&socket, &request),
+        Command::Profile { trace, collapsed, output } => {
+            let text = std::fs::read_to_string(&trace)
+                .map_err(|e| format!("cannot read `{trace}`: {e}"))?;
+            let Some(report) = profile::ProfileReport::from_trace(&text) else {
+                return Err(format!("`{trace}` contains no timing data").into());
+            };
+            if report.skipped_lines > 0 {
+                eprintln!("warning: skipped {} unparseable line(s)", report.skipped_lines);
+            }
+            let rendered =
+                if collapsed { report.to_collapsed() } else { report.to_table() };
+            match output {
+                Some(p) => write_output(&p, &rendered, false)?,
+                None => print!("{rendered}"),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
     }
 }
 
@@ -612,6 +658,21 @@ fn run_job_client(
         ),
         JobRequest::List => {
             simple(serde_json::json!({"cmd": "list"}), &mut stream, &mut reader)
+        }
+        JobRequest::Metrics { text } => {
+            let req = if *text {
+                serde_json::json!({"cmd": "metrics", "format": "text"})
+            } else {
+                serde_json::json!({"cmd": "metrics"})
+            };
+            let resp = roundtrip(&mut stream, &mut reader, &req)?;
+            // With --text, print the exposition body itself so the output
+            // can be piped straight into Prometheus tooling.
+            match resp.get("text").and_then(|v| v.as_str()).filter(|_| *text && ok(&resp)) {
+                Some(body) => print!("{body}"),
+                None => println!("{}", serde_json::to_string(&resp)?),
+            }
+            Ok(if ok(&resp) { ExitCode::SUCCESS } else { ExitCode::FAILURE })
         }
         JobRequest::Ping => {
             simple(serde_json::json!({"cmd": "ping"}), &mut stream, &mut reader)

@@ -86,6 +86,69 @@ fn quiet_run_writes_valid_trace_and_metrics_and_stays_silent() {
     }
 }
 
+/// `momsynth profile` folds a real trace into per-phase self time, in
+/// both the human table and the flamegraph collapsed-stack format.
+#[test]
+fn profile_folds_a_real_trace_into_self_time() {
+    let system = smartphone_json("sys_profile.json");
+    let trace = tmp("profile_events.jsonl");
+    let out = momsynth(&[
+        "synth",
+        system.to_str().unwrap(),
+        "--quick",
+        "--seed",
+        "1",
+        "--quiet",
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Human-readable report: a ranked table of phase paths.
+    let out = momsynth(&["profile", trace.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(table.contains("SELF"), "header missing: {table}");
+    assert!(table.contains("run;fitness_eval"), "phase paths missing: {table}");
+
+    // Collapsed-stack output: `path self_nanos` lines flamegraph
+    // tooling accepts, written through `-o`.
+    let collapsed_path = tmp("profile.collapsed");
+    let out = momsynth(&[
+        "profile",
+        trace.to_str().unwrap(),
+        "--collapsed",
+        "-o",
+        collapsed_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let collapsed = std::fs::read_to_string(&collapsed_path).unwrap();
+    for line in collapsed.lines() {
+        let (path, nanos) = line.rsplit_once(' ').expect("`path nanos` shape");
+        assert!(path.starts_with("run"), "{line}");
+        assert!(nanos.parse::<u64>().expect("nanos parse") > 0, "{line}");
+    }
+    assert!(
+        collapsed.lines().any(|l| l.starts_with("run;fitness_eval;")),
+        "inner phases present: {collapsed}"
+    );
+
+    // A file with no timing data is a clean, documented failure.
+    let empty = tmp("profile_empty.jsonl");
+    std::fs::write(&empty, "\n").unwrap();
+    let out = momsynth(&["profile", empty.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no timing data"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    for p in [system, trace, collapsed_path, empty] {
+        std::fs::remove_file(&p).ok();
+    }
+}
+
 #[test]
 fn progress_run_reports_generations_on_stderr() {
     let system = smartphone_json("sys_progress.json");

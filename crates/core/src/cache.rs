@@ -97,6 +97,12 @@ pub struct EvalCache {
     shard_capacity: usize,
     /// Monotonic recency clock; incremented by every get-hit and insert.
     tick: u64,
+    /// LRU evictions since construction (or since the last
+    /// [`EvalCache::restore`] — a resume's base total lives in the
+    /// restored counter set, so the live count restarts at zero).
+    /// Deterministic: eviction happens only in the serial cache-fill
+    /// stage on the driver thread, never inside parallel pricing.
+    evictions: u64,
 }
 
 impl EvalCache {
@@ -109,7 +115,13 @@ impl EvalCache {
             shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
             shard_capacity: capacity.div_ceil(SHARD_COUNT),
             tick: 0,
+            evictions: 0,
         }
+    }
+
+    /// LRU evictions performed since construction or the last restore.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Total entries currently cached.
@@ -167,6 +179,7 @@ impl EvalCache {
         }
         if shard.len >= self.shard_capacity {
             shard.evict_oldest();
+            self.evictions += 1;
         }
         shard
             .map
@@ -211,6 +224,10 @@ impl EvalCache {
             }
         }
         self.tick = state.tick.max(self.tick);
+        // Replaying into a smaller cache may evict, but those drops were
+        // never evictions of the original run; the cumulative total up
+        // to the checkpoint is restored into the counter set instead.
+        self.evictions = 0;
     }
 }
 
@@ -249,6 +266,8 @@ mod tests {
             cache.insert(g, i as f64);
         }
         assert!(cache.len() <= 16);
+        // Every entry beyond capacity was evicted, and counted.
+        assert_eq!(cache.evictions(), 64 - cache.len() as u64);
         // The most recent insert of every non-empty shard must survive.
         let survivors: Vec<usize> =
             (0..64).filter(|&i| cache.get(&genomes[i]).is_some()).collect();
@@ -282,6 +301,9 @@ mod tests {
         assert!(small.len() <= 16);
         assert!(small.get(&genome(0, 5)).is_some() || small.get(&genome(1, 5)).is_some());
         assert!(small.tick >= state.tick);
+        // Capacity trimming during a restore is not an eviction of the
+        // resumed run: the live counter restarts at zero.
+        assert_eq!(small.evictions(), 0);
     }
 
     #[test]

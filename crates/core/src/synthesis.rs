@@ -40,7 +40,8 @@ use momsynth_ga::{GaConfig, GaProblem, GaSnapshot, RunControl, StopReason, REJEC
 use momsynth_model::units::Watts;
 use momsynth_model::System;
 use momsynth_telemetry::{
-    CounterSet, Counters, Event, ModeSummary, PhaseTiming, RunStart, RunSummary, Sink, Warning,
+    CounterSet, Counters, Event, ModeSummary, PhaseTiming, RunStart, RunSummary, Sink, SpanEvent,
+    Warning,
 };
 
 use crate::cache::{CacheState, EvalCache};
@@ -255,6 +256,11 @@ pub struct SynthControl<'a> {
     /// Expensive events are only built when the sink reports
     /// [`Sink::enabled`].
     pub sink: Option<&'a dyn Sink>,
+    /// Trace identifier stamped on the run's `RunStart` and `Span`
+    /// events, threading them to the submitting job (the serve layer
+    /// mints one per job). `None` derives a deterministic local ID from
+    /// the system name and seed.
+    pub trace_id: Option<String>,
 }
 
 impl std::fmt::Debug for SynthControl<'_> {
@@ -264,6 +270,7 @@ impl std::fmt::Debug for SynthControl<'_> {
             .field("checkpoint", &self.checkpoint)
             .field("resume", &self.resume.as_ref().map(|c| c.generation))
             .field("sink", &self.sink.map(|s| s.enabled()))
+            .field("trace_id", &self.trace_id)
             .finish()
     }
 }
@@ -335,6 +342,11 @@ impl MappingProblem<'_> {
     fn counters_snapshot(&self) -> Counters {
         let mut counters = self.counters.snapshot();
         counters.dvs_iterations += self.evaluator.dvs_iterations();
+        // Like `dvs_iterations`, the live cache counts evictions since
+        // this process started; a resume restores the checkpointed
+        // cumulative total into the counter set's base, so the sum stays
+        // cumulative across interruptions.
+        counters.cache_evictions += self.cache.as_ref().map_or(0, |c| c.borrow().evictions());
         counters
     }
 
@@ -566,6 +578,13 @@ impl<'a> Synthesizer<'a> {
         if !self.config.improvement_operators {
             ga_config.improvement_rate = 0.0;
         }
+        // Resolve the trace ID once: an externally minted one (a job
+        // server threading submission → run → journal) wins; otherwise a
+        // deterministic local ID keeps standalone traces self-labelled.
+        let trace_id = control
+            .trace_id
+            .clone()
+            .unwrap_or_else(|| format!("synth-{}-{}", self.system.name(), ga_config.seed));
         let problem = MappingProblem {
             layout: &layout,
             evaluator: &evaluator,
@@ -604,6 +623,7 @@ impl<'a> Synthesizer<'a> {
                     resumed_generation: resume.as_ref().map(|s| s.generation as u64),
                     power_lower_bound_mw: power_lower_bound.as_milli(),
                     pruned_domain_ratio,
+                    trace_id: trace_id.clone(),
                 }));
             }
         }
@@ -803,6 +823,31 @@ impl<'a> Synthesizer<'a> {
             if sink.enabled() {
                 for timing in &result.phase_timings {
                     sink.record(&Event::Phase(timing.clone()));
+                }
+                // Re-emit the same timings as trace spans under the
+                // run-wide trace ID: collapsed-stack paths nest the
+                // depth-1 phases under the whole-evaluation span, and a
+                // root span carries the run's total wall time so
+                // `momsynth profile` can attribute non-evaluation time
+                // (selection, checkpointing, polish) as root self-time.
+                sink.record(&Event::Span(SpanEvent {
+                    trace_id: trace_id.clone(),
+                    path: "run".into(),
+                    nanos: result.wall_time.as_nanos() as u64,
+                    spans: 1,
+                }));
+                for timing in &result.phase_timings {
+                    let path = if timing.depth == 0 {
+                        format!("run;{}", timing.phase.name())
+                    } else {
+                        format!("run;fitness_eval;{}", timing.phase.name())
+                    };
+                    sink.record(&Event::Span(SpanEvent {
+                        trace_id: trace_id.clone(),
+                        path,
+                        nanos: timing.nanos,
+                        spans: timing.spans,
+                    }));
                 }
                 sink.record(&Event::Summary(result.summary(self.system, &self.config)));
             }

@@ -1,0 +1,297 @@
+//! Bridges telemetry events into registry instruments.
+
+use std::sync::Mutex;
+
+use momsynth_telemetry::{Counters, Event, Phase, Sink};
+
+use crate::{Counter, Gauge, Histogram, Registry, DEFAULT_DURATION_BOUNDS_S};
+
+/// Per-phase wall-time bucket bounds in seconds: synthesis phases on the
+/// seed workloads run from microseconds to a few seconds.
+const PHASE_BOUNDS_S: [f64; 16] = [
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.5,
+    1.0, 5.0,
+];
+
+/// A telemetry [`Sink`] that re-emits run events as registry
+/// instruments: per-phase wall time as histograms, eval-cache
+/// hit/miss/eviction totals as counters (delta-decoded from the
+/// cumulative per-generation [`Counters`]), live `evals/sec` as a
+/// gauge, and run durations as a histogram.
+///
+/// The sink reports [`Sink::enabled`] only when its registry is
+/// enabled, so the synthesis core skips event construction entirely for
+/// a disabled registry — the same zero-cost contract as every other
+/// sink.
+#[derive(Debug)]
+pub struct MetricsSink {
+    enabled: bool,
+    runs_started: Counter,
+    runs_finished: Counter,
+    run_duration: Histogram,
+    generations: Counter,
+    evaluations: Counter,
+    rejected: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    dvs_iterations: Counter,
+    evals_per_sec: Gauge,
+    phase_seconds: Vec<(Phase, Histogram)>,
+    /// Delta-decoder state: the cumulative counters of the last
+    /// generation seen, and whether the next generation event is the
+    /// baseline of a resumed run (whose deltas must not be re-counted).
+    state: Mutex<DeltaState>,
+}
+
+#[derive(Debug, Default)]
+struct DeltaState {
+    last: Option<Counters>,
+    resumed: bool,
+}
+
+impl MetricsSink {
+    /// Builds the sink and registers its instrument families on
+    /// `registry`. All families exist (at zero) from this point, so
+    /// scrapes before the first run still see the full taxonomy.
+    pub fn new(registry: &Registry) -> Self {
+        let phase_seconds = Phase::ALL
+            .iter()
+            .map(|&phase| {
+                (
+                    phase,
+                    registry.histogram(
+                        "momsynth_run_phase_seconds",
+                        "Wall time per synthesis phase, one observation per run",
+                        &PHASE_BOUNDS_S,
+                        &[("phase", phase.name())],
+                    ),
+                )
+            })
+            .collect();
+        Self {
+            enabled: registry.is_enabled(),
+            runs_started: registry.counter(
+                "momsynth_runs_started_total",
+                "Synthesis runs started (resumes included)",
+                &[],
+            ),
+            runs_finished: registry.counter(
+                "momsynth_runs_finished_total",
+                "Synthesis runs that produced a summary",
+                &[],
+            ),
+            run_duration: registry.histogram(
+                "momsynth_run_duration_seconds",
+                "Wall time of finished synthesis runs",
+                &DEFAULT_DURATION_BOUNDS_S,
+                &[],
+            ),
+            generations: registry.counter(
+                "momsynth_generations_total",
+                "GA generations completed",
+                &[],
+            ),
+            evaluations: registry.counter(
+                "momsynth_evaluations_total",
+                "Fitness evaluations actually priced",
+                &[],
+            ),
+            rejected: registry.counter(
+                "momsynth_evaluations_rejected_total",
+                "Evaluations rejected (errored, panicked or non-finite)",
+                &[],
+            ),
+            cache_hits: registry.counter(
+                "momsynth_eval_cache_hits_total",
+                "Cost lookups served by the evaluation cache",
+                &[],
+            ),
+            cache_misses: registry.counter(
+                "momsynth_eval_cache_misses_total",
+                "Cost lookups that missed the evaluation cache",
+                &[],
+            ),
+            cache_evictions: registry.counter(
+                "momsynth_eval_cache_evictions_total",
+                "Entries evicted from the evaluation cache",
+                &[],
+            ),
+            dvs_iterations: registry.counter(
+                "momsynth_dvs_iterations_total",
+                "PV-DVS inner-loop iterations spent",
+                &[],
+            ),
+            evals_per_sec: registry.gauge(
+                "momsynth_evals_per_sec",
+                "Live evaluation throughput of the most recent generation",
+                &[],
+            ),
+            phase_seconds,
+            state: Mutex::new(DeltaState::default()),
+        }
+    }
+}
+
+impl Sink for MetricsSink {
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn record(&self, event: &Event) {
+        match event {
+            Event::RunStart(start) => {
+                self.runs_started.inc();
+                let mut state = self.state.lock().expect("metrics sink poisoned");
+                state.last = None;
+                state.resumed = start.resumed_generation.is_some();
+            }
+            Event::Generation(g) => {
+                self.evals_per_sec.set(g.evals_per_sec as i64);
+                let mut state = self.state.lock().expect("metrics sink poisoned");
+                if let Some(last) = &state.last {
+                    self.generations.inc();
+                    let d = |cur: u64, prev: u64| cur.saturating_sub(prev);
+                    self.evaluations.add(d(g.counters.evaluated, last.evaluated));
+                    self.rejected.add(d(g.counters.rejected, last.rejected));
+                    self.cache_hits.add(d(g.counters.cache_hits, last.cache_hits));
+                    self.cache_misses.add(d(g.counters.cache_misses, last.cache_misses));
+                    self.cache_evictions
+                        .add(d(g.counters.cache_evictions, last.cache_evictions));
+                    self.dvs_iterations
+                        .add(d(g.counters.dvs_iterations, last.dvs_iterations));
+                } else if !state.resumed {
+                    // First generation of a fresh run: everything so far
+                    // is new. A resumed run's first event only sets the
+                    // baseline — its counters were counted before the
+                    // interruption.
+                    self.generations.inc();
+                    self.evaluations.add(g.counters.evaluated);
+                    self.rejected.add(g.counters.rejected);
+                    self.cache_hits.add(g.counters.cache_hits);
+                    self.cache_misses.add(g.counters.cache_misses);
+                    self.cache_evictions.add(g.counters.cache_evictions);
+                    self.dvs_iterations.add(g.counters.dvs_iterations);
+                }
+                state.last = Some(g.counters.clone());
+            }
+            Event::Phase(timing) => {
+                if let Some((_, h)) =
+                    self.phase_seconds.iter().find(|(phase, _)| *phase == timing.phase)
+                {
+                    h.observe(timing.nanos as f64 / 1e9);
+                }
+            }
+            Event::Summary(summary) => {
+                self.runs_finished.inc();
+                self.run_duration.observe(summary.wall_time_s);
+                self.evals_per_sec.set(0);
+            }
+            Event::Warning(_) | Event::Span(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use momsynth_telemetry::{GenerationEvent, RunStart};
+
+    use super::*;
+
+    fn start(resumed: Option<u64>) -> Event {
+        Event::RunStart(RunStart {
+            system: "s".into(),
+            seed: 1,
+            probability_aware: true,
+            dvs: false,
+            modes: 2,
+            genome_len: 8,
+            resumed_generation: resumed,
+            power_lower_bound_mw: 0.0,
+            pruned_domain_ratio: 0.0,
+            trace_id: String::new(),
+        })
+    }
+
+    fn generation(generation: u64, hits: u64, misses: u64, evicted: u64) -> Event {
+        let counters = Counters {
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_evictions: evicted,
+            evaluated: misses,
+            ..Counters::default()
+        };
+        Event::Generation(GenerationEvent {
+            generation,
+            evaluations: misses,
+            best: 1.0,
+            mean: 1.0,
+            worst: 1.0,
+            stagnation: 0,
+            evals_per_sec: 100.0,
+            cache_hit_rate: 0.0,
+            counters,
+        })
+    }
+
+    #[test]
+    fn deltas_accumulate_from_cumulative_counters() {
+        let registry = Registry::new();
+        let sink = MetricsSink::new(&registry);
+        sink.record(&start(None));
+        sink.record(&generation(0, 2, 10, 1));
+        sink.record(&generation(1, 5, 14, 3));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("momsynth_eval_cache_hits_total", &[]), Some(5));
+        assert_eq!(snap.counter_value("momsynth_eval_cache_misses_total", &[]), Some(14));
+        assert_eq!(snap.counter_value("momsynth_eval_cache_evictions_total", &[]), Some(3));
+        assert_eq!(snap.counter_value("momsynth_generations_total", &[]), Some(2));
+        assert_eq!(snap.gauge_value("momsynth_evals_per_sec", &[]), Some(100));
+    }
+
+    #[test]
+    fn resumed_runs_do_not_recount_their_baseline() {
+        let registry = Registry::new();
+        let sink = MetricsSink::new(&registry);
+        sink.record(&start(Some(3)));
+        // The resumed baseline carries everything counted before the
+        // crash; only growth beyond it may be added.
+        sink.record(&generation(4, 100, 200, 50));
+        sink.record(&generation(5, 101, 205, 50));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("momsynth_eval_cache_hits_total", &[]), Some(1));
+        assert_eq!(snap.counter_value("momsynth_eval_cache_misses_total", &[]), Some(5));
+        assert_eq!(snap.counter_value("momsynth_eval_cache_evictions_total", &[]), Some(0));
+    }
+
+    #[test]
+    fn phase_and_summary_events_feed_histograms() {
+        let registry = Registry::new();
+        let sink = MetricsSink::new(&registry);
+        sink.record(&Event::Phase(momsynth_telemetry::PhaseTiming {
+            phase: Phase::ListScheduling,
+            nanos: 2_000_000,
+            spans: 10,
+            depth: 1,
+        }));
+        let snap = registry.snapshot();
+        let sample = snap
+            .histogram_sample("momsynth_run_phase_seconds", &[("phase", "list_scheduling")])
+            .unwrap();
+        assert_eq!(sample.count, 1);
+        assert!((sample.sum - 0.002).abs() < 1e-12);
+        // All five phase families are pre-registered even before a run.
+        for phase in Phase::ALL {
+            assert!(snap
+                .histogram_sample("momsynth_run_phase_seconds", &[("phase", phase.name())])
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn disabled_registry_disables_the_sink() {
+        let registry = Registry::disabled();
+        let sink = MetricsSink::new(&registry);
+        assert!(!Sink::enabled(&sink));
+    }
+}

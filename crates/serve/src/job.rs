@@ -154,6 +154,15 @@ pub struct JobRecord {
     pub seq: u64,
     /// Scheduling priority copied from the spec.
     pub priority: u8,
+    /// Trace/span correlation id minted at submission and threaded
+    /// through the synthesis run, its telemetry trace and the journal
+    /// (empty for records written before tracing existed).
+    #[serde(default)]
+    pub trace_id: String,
+    /// Submission wall-clock time in Unix milliseconds (0 for records
+    /// written before tracing existed).
+    #[serde(default)]
+    pub submitted_unix_ms: u64,
     /// Current lifecycle state.
     pub state: JobState,
     /// Attempts started so far (1 on the first run).
@@ -169,19 +178,45 @@ pub struct JobRecord {
     pub summary: Option<RunSummary>,
 }
 
+/// Current wall-clock time in Unix milliseconds (0 on a pre-1970
+/// clock).
+pub(crate) fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()
+        .and_then(|d| u64::try_from(d.as_millis()).ok())
+        .unwrap_or(0)
+}
+
 impl JobRecord {
-    /// A fresh `Queued` record for a new submission.
+    /// A fresh `Queued` record for a new submission, stamped with the
+    /// submission time and a journal-unique trace id.
     pub fn new(id: String, seq: u64, priority: u8) -> Self {
+        let submitted_unix_ms = unix_ms();
+        let trace_id = format!("{id}-{submitted_unix_ms:x}");
         Self {
             id,
             seq,
             priority,
+            trace_id,
+            submitted_unix_ms,
             state: JobState::Queued,
             attempts: 0,
             transitions: vec!["queued".to_owned()],
             error: None,
             summary: None,
         }
+    }
+
+    /// Seconds since this job was submitted, when the submission time
+    /// is known (`None` for pre-tracing records).
+    pub fn age_s(&self) -> Option<f64> {
+        if self.submitted_unix_ms == 0 {
+            return None;
+        }
+        let elapsed_ms = unix_ms().saturating_sub(self.submitted_unix_ms);
+        #[allow(clippy::cast_precision_loss)]
+        Some(elapsed_ms as f64 / 1000.0)
     }
 
     /// Applies a state transition, appending `note` to the audit trail.
@@ -246,6 +281,27 @@ mod tests {
         assert_eq!(back, record);
         assert_eq!(back.transitions.len(), 4);
         assert!(back.state.is_terminal());
+    }
+
+    #[test]
+    fn new_records_carry_a_trace_id_and_submission_time() {
+        let record = JobRecord::new("job-000042".into(), 42, 0);
+        assert!(record.trace_id.starts_with("job-000042-"), "{}", record.trace_id);
+        assert!(record.submitted_unix_ms > 0);
+        let age = record.age_s().expect("fresh records know their age");
+        assert!((0.0..60.0).contains(&age), "{age}");
+    }
+
+    #[test]
+    fn pre_tracing_records_parse_with_empty_trace_context() {
+        let json = r#"{
+            "id": "job-000001", "seq": 1, "priority": 0,
+            "state": "Queued", "attempts": 0
+        }"#;
+        let record: JobRecord = serde_json::from_str(json).unwrap();
+        assert_eq!(record.trace_id, "");
+        assert_eq!(record.submitted_unix_ms, 0);
+        assert_eq!(record.age_s(), None, "unknown submission time has no age");
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   checkpoints/<id>.json  Checkpoint v3 of the in-flight run
 //!   traces/<id>.jsonl      telemetry trace, appended across attempts
 //!   results/<id>.json      final solution report of a verified job
+//!   metrics/<id>.json      metrics snapshot taken when the job went
+//!                          terminal; metrics/server.json is the
+//!                          periodic whole-server snapshot
 //! ```
 //!
 //! Records are the source of truth for recovery: a torn primary falls
@@ -18,6 +21,9 @@
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use momsynth_metrics::{Histogram, MetricsSnapshot};
 
 use crate::job::{JobRecord, JobSpec};
 
@@ -38,11 +44,22 @@ impl std::fmt::Display for JournalError {
 
 impl std::error::Error for JournalError {}
 
+/// Latency instruments for durable writes. Defaults to disabled
+/// handles, so an un-instrumented journal pays only a branch per write.
+#[derive(Debug, Clone, Default)]
+pub struct JournalTimers {
+    /// Whole durable-write latency (tmp + fsync + backup + rename).
+    pub write: Histogram,
+    /// The fsync portion alone.
+    pub fsync: Histogram,
+}
+
 /// Handle to a journal directory tree. Cloneable and thread-safe: all
 /// state lives on disk, and every write is atomic.
 #[derive(Debug, Clone)]
 pub struct Journal {
     root: PathBuf,
+    timers: JournalTimers,
 }
 
 /// `path` with `suffix` appended to its final component.
@@ -54,20 +71,30 @@ fn sibling(path: &Path, suffix: &str) -> PathBuf {
 
 /// Durable atomic write: contents go to an fsync'd temporary sibling,
 /// the previous file (if any) is hard-linked to `.bak`, then the
-/// temporary is renamed over the target.
-fn write_durable(path: &Path, contents: &str) -> Result<(), JournalError> {
+/// temporary is renamed over the target. `timers` observe the whole
+/// write and its fsync portion (no-ops when metrics are disabled).
+fn write_durable(
+    path: &Path,
+    contents: &str,
+    timers: &JournalTimers,
+) -> Result<(), JournalError> {
+    let started = Instant::now();
     let err = |reason: String| JournalError { path: path.to_owned(), reason };
     let tmp = sibling(path, ".tmp");
     let mut file = std::fs::File::create(&tmp).map_err(|e| err(e.to_string()))?;
     file.write_all(contents.as_bytes()).map_err(|e| err(e.to_string()))?;
+    let fsync_started = Instant::now();
     file.sync_all().map_err(|e| err(e.to_string()))?;
+    timers.fsync.observe(fsync_started.elapsed().as_secs_f64());
     drop(file);
     if path.exists() {
         let bak = sibling(path, ".bak");
         std::fs::remove_file(&bak).ok();
         std::fs::hard_link(path, &bak).ok();
     }
-    std::fs::rename(&tmp, path).map_err(|e| err(e.to_string()))
+    let outcome = std::fs::rename(&tmp, path).map_err(|e| err(e.to_string()));
+    timers.write.observe(started.elapsed().as_secs_f64());
+    outcome
 }
 
 /// Reads and parses `path`, falling back to the `.bak` sibling when the
@@ -96,12 +123,17 @@ impl Journal {
     ///
     /// Fails when the directories cannot be created.
     pub fn open(root: &Path) -> Result<Self, JournalError> {
-        for sub in ["jobs", "specs", "checkpoints", "traces", "results"] {
+        for sub in ["jobs", "specs", "checkpoints", "traces", "results", "metrics"] {
             let dir = root.join(sub);
             std::fs::create_dir_all(&dir)
                 .map_err(|e| JournalError { path: dir.clone(), reason: e.to_string() })?;
         }
-        Ok(Self { root: root.to_owned() })
+        Ok(Self { root: root.to_owned(), timers: JournalTimers::default() })
+    }
+
+    /// Attaches latency instruments to every subsequent durable write.
+    pub fn set_timers(&mut self, timers: JournalTimers) {
+        self.timers = timers;
     }
 
     /// The journal's root directory.
@@ -134,6 +166,16 @@ impl Journal {
         self.root.join("results").join(format!("{id}.json"))
     }
 
+    /// Path of the metrics snapshot taken when job `id` went terminal.
+    pub fn metrics_path(&self, id: &str) -> PathBuf {
+        self.root.join("metrics").join(format!("{id}.json"))
+    }
+
+    /// Path of the periodically refreshed whole-server metrics snapshot.
+    pub fn server_metrics_path(&self) -> PathBuf {
+        self.root.join("metrics").join("server.json")
+    }
+
     /// Durably writes a job's lifecycle record.
     ///
     /// # Errors
@@ -144,7 +186,7 @@ impl Journal {
         let path = self.record_path(&record.id);
         let json = serde_json::to_string_pretty(record)
             .map_err(|e| JournalError { path: path.clone(), reason: e.to_string() })?;
-        write_durable(&path, &json)
+        write_durable(&path, &json, &self.timers)
     }
 
     /// Durably writes a job's spec (once, at submission).
@@ -156,7 +198,7 @@ impl Journal {
         let path = self.spec_path(id);
         let json = serde_json::to_string_pretty(spec)
             .map_err(|e| JournalError { path: path.clone(), reason: e.to_string() })?;
-        write_durable(&path, &json)
+        write_durable(&path, &json, &self.timers)
     }
 
     /// Durably writes a verified job's solution report.
@@ -168,7 +210,28 @@ impl Journal {
         let path = self.result_path(id);
         let json = serde_json::to_string_pretty(report)
             .map_err(|e| JournalError { path: path.clone(), reason: e.to_string() })?;
-        write_durable(&path, &json)
+        write_durable(&path, &json, &self.timers)
+    }
+
+    /// Durably writes a metrics snapshot to `path` (a job's terminal
+    /// snapshot or the periodic server snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn write_metrics(
+        &self,
+        path: &Path,
+        snapshot: &MetricsSnapshot,
+    ) -> Result<(), JournalError> {
+        let json = serde_json::to_string_pretty(snapshot)
+            .map_err(|e| JournalError { path: path.to_owned(), reason: e.to_string() })?;
+        write_durable(path, &json, &self.timers)
+    }
+
+    /// Loads a journaled metrics snapshot, if present.
+    pub fn load_metrics(&self, path: &Path) -> Option<MetricsSnapshot> {
+        read_resilient(path).ok().map(|(v, _)| v)
     }
 
     /// Loads a job's spec, tolerating a torn primary.

@@ -24,12 +24,24 @@
 //! * **Graceful shutdown** — SIGTERM/Ctrl-C checkpoints every running
 //!   job and leaves it `Running` in the journal for the next start.
 //!
+//! * **Observability** — every scheduler, journal and synthesis
+//!   instrument lives in one [`momsynth_metrics::Registry`]
+//!   ([`ServeMetrics`]): queue depth, admissions/sheds/rejections,
+//!   worker utilisation, journal write + fsync and recovery-scan
+//!   latencies, and per-terminal-state job lifecycle latencies.
+//!   Snapshots are served over the protocol (`metrics`), exposed in
+//!   Prometheus text format ([`spawn_exposition`]), and journaled —
+//!   per job at its terminal transition and periodically for the whole
+//!   server. Each job carries a trace id threaded from submission
+//!   through the GA's span events to its journal record.
+//!
 //! Clients speak a line-delimited JSON protocol ([`protocol`]) over a
 //! Unix-domain socket or stdin/stdout ([`socket`]); live telemetry
 //! streams to subscribers as job-tagged events.
 
 pub mod job;
 pub mod journal;
+pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -37,6 +49,7 @@ mod sink;
 pub mod socket;
 
 pub use job::{JobProgress, JobRecord, JobSpec, JobState};
-pub use journal::{Journal, JournalError};
+pub use journal::{Journal, JournalError, JournalTimers};
+pub use metrics::{spawn_exposition, ServeMetrics};
 pub use queue::{PendingQueue, PushOutcome, QueueEntry};
 pub use server::{JobStatus, Server, ServerConfig, SubmitRejection};

@@ -16,7 +16,12 @@
 //! | `cancel`    | `id`                     | `{"ok":true,"state":...}`   |
 //! | `wait`      | `id`, `timeout_s`?       | `{"ok":true,"job":{...}}`   |
 //! | `subscribe` | `id`?                    | ack, then event lines       |
+//! | `metrics`   | `format`? (`"text"`)     | `{"ok":true,"metrics":{...}}`|
 //! | `shutdown`  |                          | `{"ok":true}`, server stops |
+//!
+//! `status`, `list` and `metrics` responses additionally carry a
+//! `server` block (`{"queue_depth": ..., "uptime_s": ...}`); each job
+//! value carries its `trace_id` and `age_s` (seconds since submission).
 
 use std::sync::mpsc;
 use std::time::Duration;
@@ -60,12 +65,23 @@ pub fn status_value(status: &JobStatus) -> Value {
         "id": status.record.id,
         "seq": status.record.seq,
         "priority": status.record.priority,
+        "trace_id": status.record.trace_id,
+        "age_s": status.record.age_s(),
         "state": status.record.state.to_string(),
         "attempts": status.record.attempts,
         "transitions": status.record.transitions,
         "error": status.record.error,
         "summary": status.record.summary,
         "progress": status.progress,
+    })
+}
+
+/// The server-health block attached to `status`, `list` and `metrics`
+/// responses.
+fn server_block(server: &Server) -> Value {
+    json!({
+        "queue_depth": server.queue_depth(),
+        "uptime_s": server.uptime_s(),
     })
 }
 
@@ -112,15 +128,39 @@ pub fn handle_line(server: &Server, line: &str) -> Reply {
                 return error_line("status requires an `id` field");
             };
             match server.status(id) {
-                Some(status) => {
-                    Reply::Line(json!({"ok": true, "job": status_value(&status)}))
-                }
+                Some(status) => Reply::Line(json!({
+                    "ok": true,
+                    "job": status_value(&status),
+                    "server": server_block(server),
+                })),
                 None => error_line(format!("unknown job `{id}`")),
             }
         }
         "list" => {
             let jobs: Vec<Value> = server.list().iter().map(status_value).collect();
-            Reply::Line(json!({"ok": true, "jobs": jobs}))
+            Reply::Line(json!({
+                "ok": true,
+                "jobs": jobs,
+                "server": server_block(server),
+            }))
+        }
+        "metrics" => {
+            let snapshot = server.metrics_snapshot();
+            let reply = if str_field(&request, "format") == Some("text") {
+                json!({
+                    "ok": true,
+                    "metrics": snapshot,
+                    "text": snapshot.to_prometheus(),
+                    "server": server_block(server),
+                })
+            } else {
+                json!({
+                    "ok": true,
+                    "metrics": snapshot,
+                    "server": server_block(server),
+                })
+            };
+            Reply::Line(reply)
         }
         "result" => {
             let Some(id) = str_field(&request, "id") else {

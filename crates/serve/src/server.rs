@@ -12,10 +12,12 @@ use momsynth_core::{
     invariant_breach, Checkpoint, CheckpointSpec, StopReason, SynthControl, SynthesisError,
     Synthesizer,
 };
+use momsynth_metrics::{MetricsSink, MetricsSnapshot, Registry};
 use momsynth_telemetry::{Event, Fanout, JsonlSink, RunSummary, Sink, Warning};
 
 use crate::job::{JobProgress, JobRecord, JobSpec, JobState};
-use crate::journal::Journal;
+use crate::journal::{Journal, JournalTimers};
+use crate::metrics::ServeMetrics;
 use crate::queue::{PendingQueue, PushOutcome, QueueEntry};
 use crate::sink::{ServeSink, SubscriberHub};
 
@@ -38,6 +40,10 @@ pub struct ServerConfig {
     /// Base of the exponential retry backoff, in seconds (attempt `n`
     /// waits `base * 2^(n-1)`).
     pub retry_backoff_s: f64,
+    /// Whether the in-process metrics registry is enabled. Disabled,
+    /// every instrument is a no-op handle and the server does no
+    /// metrics work at all.
+    pub metrics: bool,
 }
 
 impl ServerConfig {
@@ -52,6 +58,7 @@ impl ServerConfig {
             checkpoint_every_seconds: Some(2.0),
             max_retries: 2,
             retry_backoff_s: 1.0,
+            metrics: true,
         }
     }
 }
@@ -121,6 +128,7 @@ struct Shared {
     shutdown: AtomicBool,
     hub: Arc<SubscriberHub>,
     recovery_notes: Vec<String>,
+    metrics: ServeMetrics,
 }
 
 impl Shared {
@@ -128,6 +136,10 @@ impl Shared {
     /// are reported on stderr but never block the state machine — the
     /// in-memory state stays authoritative until the next successful
     /// write.
+    ///
+    /// This is the single site where jobs go terminal, so terminal
+    /// bookkeeping (per-state counters, lifecycle latency, the per-job
+    /// metrics snapshot) lives here and fires exactly once per job.
     fn transition(&self, sched: &mut Sched, id: &str, state: JobState, note: &str) {
         if let Some(record) = sched.jobs.get_mut(id) {
             record.transition(state, note);
@@ -135,7 +147,22 @@ impl Shared {
             if let Err(e) = self.journal.write_record(&snapshot) {
                 eprintln!("warning: {e}");
             }
+            if state.is_terminal() {
+                self.metrics.job_terminal(state, snapshot.age_s());
+                if self.metrics.registry().is_enabled() {
+                    let metrics_snapshot = self.metrics.snapshot();
+                    let path = self.journal.metrics_path(id);
+                    if let Err(e) = self.journal.write_metrics(&path, &metrics_snapshot) {
+                        eprintln!("warning: {e}");
+                    }
+                }
+            }
         }
+    }
+
+    /// Mirrors the pending-queue length into its gauge.
+    fn note_queue_depth(&self, sched: &Sched) {
+        self.metrics.queue_depth.set(i64::try_from(sched.pending.len()).unwrap_or(i64::MAX));
     }
 }
 
@@ -156,8 +183,17 @@ impl Server {
     ///
     /// Fails when the journal directory cannot be created.
     pub fn start(config: ServerConfig) -> Result<Self, crate::journal::JournalError> {
-        let journal = Journal::open(&config.root)?;
+        let registry =
+            if config.metrics { Registry::new() } else { Registry::disabled() };
+        let metrics = ServeMetrics::new(&registry);
+        let mut journal = Journal::open(&config.root)?;
+        journal.set_timers(JournalTimers {
+            write: metrics.journal_write.clone(),
+            fsync: metrics.journal_fsync.clone(),
+        });
+        let scan_started = Instant::now();
         let (records, mut notes) = journal.load_all();
+        metrics.recovery_scan.observe(scan_started.elapsed().as_secs_f64());
 
         let mut sched = Sched {
             pending: PendingQueue::new(config.queue_capacity),
@@ -187,6 +223,7 @@ impl Server {
             }
             sched.jobs.insert(record.id.clone(), record);
         }
+        metrics.queue_depth.set(i64::try_from(sched.pending.len()).unwrap_or(i64::MAX));
 
         let shared = Arc::new(Shared {
             config: config.clone(),
@@ -196,6 +233,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             hub: Arc::new(SubscriberHub::default()),
             recovery_notes: notes,
+            metrics,
         });
 
         let mut threads = Vec::new();
@@ -240,6 +278,7 @@ impl Server {
     /// [`SubmitRejection`] carries the suggested retry delay.
     pub fn submit(&self, spec: &JobSpec) -> Result<String, SubmitRejection> {
         if self.shared.shutdown.load(Ordering::Relaxed) {
+            self.shared.metrics.jobs_rejected.inc();
             return Err(SubmitRejection {
                 retry_after_s: 5.0,
                 reason: "server is shutting down".into(),
@@ -256,6 +295,7 @@ impl Server {
         });
         let shed = match outcome {
             PushOutcome::Rejected { retry_after_s } => {
+                self.shared.metrics.jobs_rejected.inc();
                 return Err(SubmitRejection {
                     retry_after_s,
                     reason: "submission queue is full".into(),
@@ -269,6 +309,8 @@ impl Server {
             // Without a durable spec the job could never survive a
             // restart; reject rather than accept a half-recorded job.
             sched.pending.remove(&id);
+            self.shared.metrics.jobs_rejected.inc();
+            self.shared.note_queue_depth(&sched);
             return Err(SubmitRejection {
                 retry_after_s: 1.0,
                 reason: format!("cannot persist job spec: {e}"),
@@ -277,13 +319,17 @@ impl Server {
         let record = JobRecord::new(id.clone(), seq, spec.priority);
         if let Err(e) = self.shared.journal.write_record(&record) {
             sched.pending.remove(&id);
+            self.shared.metrics.jobs_rejected.inc();
+            self.shared.note_queue_depth(&sched);
             return Err(SubmitRejection {
                 retry_after_s: 1.0,
                 reason: format!("cannot persist job record: {e}"),
             });
         }
         sched.jobs.insert(id.clone(), record);
+        self.shared.metrics.jobs_submitted.inc();
         if let Some(shed_id) = shed {
+            self.shared.metrics.jobs_shed.inc();
             self.shared.transition(
                 &mut sched,
                 &shed_id,
@@ -291,6 +337,7 @@ impl Server {
                 &format!("evicted by higher-priority `{id}`"),
             );
         }
+        self.shared.note_queue_depth(&sched);
         drop(sched);
         self.shared.work_ready.notify_all();
         Ok(id)
@@ -339,6 +386,7 @@ impl Server {
         match state {
             JobState::Queued => {
                 sched.pending.remove(id);
+                self.shared.note_queue_depth(&sched);
                 self.shared.transition(&mut sched, id, JobState::Cancelled, "while queued");
             }
             JobState::Analyzing | JobState::Running => {
@@ -352,6 +400,28 @@ impl Server {
             _ => {}
         }
         Some(state)
+    }
+
+    /// The server-side instrument bundle (cheap handle clones around
+    /// one shared registry). Disabled when `config.metrics` is false.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.shared.metrics.clone()
+    }
+
+    /// A point-in-time snapshot of every server and synthesis
+    /// instrument (empty when metrics are disabled).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Jobs currently waiting in the submission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.lock_sched().pending.len()
+    }
+
+    /// Seconds since this server started.
+    pub fn uptime_s(&self) -> f64 {
+        self.shared.metrics.uptime_s()
     }
 
     /// Subscribes to job-tagged telemetry events (serialized
@@ -444,6 +514,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 }
                 let now = Instant::now();
                 if let Some(entry) = sched.pending.pop_due(now) {
+                    shared.note_queue_depth(&sched);
                     break entry;
                 }
                 // Wake for the earliest backoff expiry, or periodically
@@ -465,8 +536,11 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Watchdog: raises the stop flag of running jobs past their deadline.
+/// Watchdog: raises the stop flag of running jobs past their deadline,
+/// and refreshes the journaled whole-server metrics snapshot roughly
+/// once a second.
 fn watchdog_loop(shared: &Arc<Shared>) {
+    let mut ticks: u64 = 0;
     while !shared.shutdown.load(Ordering::Relaxed) {
         {
             let mut sched = shared.sched.lock().expect("scheduler state poisoned");
@@ -480,7 +554,24 @@ fn watchdog_loop(shared: &Arc<Shared>) {
                 }
             }
         }
+        ticks += 1;
+        if ticks.is_multiple_of(50) && shared.metrics.registry().is_enabled() {
+            let snapshot = shared.metrics.snapshot();
+            let path = shared.journal.server_metrics_path();
+            if let Err(e) = shared.journal.write_metrics(&path, &snapshot) {
+                eprintln!("warning: {e}");
+            }
+        }
         std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Decrements the busy-workers gauge on every exit path of `run_job`.
+struct BusyGuard(momsynth_metrics::Gauge);
+
+impl Drop for BusyGuard {
+    fn drop(&mut self) {
+        self.0.sub(1);
     }
 }
 
@@ -490,25 +581,31 @@ fn watchdog_loop(shared: &Arc<Shared>) {
 fn run_job(shared: &Arc<Shared>, entry: &QueueEntry) {
     let id = &entry.id;
     let stop = Arc::new(AtomicBool::new(false));
-    let progress = {
+    shared.metrics.workers_busy.add(1);
+    let _busy = BusyGuard(shared.metrics.workers_busy.clone());
+    let (progress, trace_id) = {
         let mut sched = shared.sched.lock().expect("scheduler state poisoned");
         sched.running.insert(
             id.clone(),
             RunningHandle { stop: Arc::clone(&stop), cause: None, deadline: None },
         );
-        let attempt = match sched.jobs.get_mut(id) {
+        let (attempt, trace_id, queue_wait_s) = match sched.jobs.get_mut(id) {
             Some(record) => {
                 record.attempts += 1;
-                record.attempts
+                let wait = if record.attempts == 1 { record.age_s() } else { None };
+                (record.attempts, record.trace_id.clone(), wait)
             }
-            None => 1,
+            None => (1, String::new(), None),
         };
+        if let Some(wait) = queue_wait_s {
+            shared.metrics.queue_wait.observe(wait);
+        }
         shared.transition(&mut sched, id, JobState::Analyzing, &format!("attempt {attempt}"));
         let progress = sched
             .progress
             .entry(id.clone())
             .or_insert_with(|| Arc::new(Mutex::new(None)));
-        Arc::clone(progress)
+        (Arc::clone(progress), trace_id)
     };
 
     // Load the durable spec; a journal that lost it is a permanent
@@ -559,7 +656,7 @@ fn run_job(shared: &Arc<Shared>, entry: &QueueEntry) {
     }
 
     // Worker-owned sink: durable JSONL trace (appended across attempts)
-    // + live progress/subscriber fan-out.
+    // + live progress/subscriber fan-out + core-loop instruments.
     let mut sink = Fanout::new();
     match JsonlSink::append(&shared.journal.trace_path(id)) {
         Ok(jsonl) => sink.push(Box::new(jsonl)),
@@ -570,6 +667,9 @@ fn run_job(shared: &Arc<Shared>, entry: &QueueEntry) {
         Arc::clone(&progress),
         Arc::clone(&shared.hub),
     )));
+    if shared.metrics.registry().is_enabled() {
+        sink.push(Box::new(MetricsSink::new(shared.metrics.registry())));
+    }
     if let Some(note) = resume_note {
         sink.record(&Event::Warning(Warning { message: note }));
     }
@@ -585,6 +685,7 @@ fn run_job(shared: &Arc<Shared>, entry: &QueueEntry) {
             checkpoint: Some(checkpoint),
             resume,
             sink: Some(&sink),
+            trace_id: Some(trace_id.clone()).filter(|t| !t.is_empty()),
         })
     }));
     sink.flush();
@@ -703,6 +804,7 @@ fn transient_failure(shared: &Arc<Shared>, entry: &QueueEntry, message: &str) {
     }
     let backoff = shared.config.retry_backoff_s * f64::from(1u32 << (attempts - 1).min(16));
     let note = format!("transient failure on attempt {attempts}, retrying in {backoff:.2} s: {message}");
+    shared.metrics.jobs_retried.inc();
     shared.transition(&mut sched, &entry.id, JobState::Queued, &note);
     sched.pending.push_retry(QueueEntry {
         id: entry.id.clone(),
@@ -710,6 +812,7 @@ fn transient_failure(shared: &Arc<Shared>, entry: &QueueEntry, message: &str) {
         seq: entry.seq,
         not_before: Some(Instant::now() + Duration::from_secs_f64(backoff)),
     });
+    shared.note_queue_depth(&sched);
     drop(sched);
     shared.work_ready.notify_all();
 }

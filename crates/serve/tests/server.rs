@@ -300,6 +300,132 @@ fn restart_resumes_interrupted_jobs_as_an_exact_trajectory_tail() {
     std::fs::remove_dir_all(&root).ok();
 }
 
+/// One job observed end to end: the trace id handed out in `status`
+/// must be the id threaded through every span in the durable trace and
+/// the id in the journalled record; the `metrics` protocol request, the
+/// HTTP exposition endpoint and the per-job journalled snapshot must
+/// all report the lifecycle the job just went through.
+#[test]
+fn trace_ids_and_metrics_agree_across_status_trace_journal_and_scrape() {
+    use std::io::{Read, Write};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    let root = tmp_root("observability");
+    let server = Server::start(config(root.clone())).unwrap();
+    let id = server.submit(&quick_spec(small_system("serve-obs", 13))).unwrap();
+    assert!(server.wait_idle(Duration::from_secs(120)), "job must finish");
+
+    // (1) The status response carries the job's trace id.
+    let status = server.status(&id).unwrap();
+    assert_eq!(status.record.state, JobState::Verified, "{:?}", status.record);
+    let trace_id = status.record.trace_id.clone();
+    assert!(trace_id.starts_with(&format!("{id}-")), "{trace_id}");
+
+    // (2) Every span in the durable trace threads the same id, and the
+    // run announces it up front.
+    let trace = std::fs::read_to_string(server.journal().trace_path(&id)).unwrap();
+    let (mut run_starts, mut spans) = (0u32, 0u32);
+    for line in trace.lines() {
+        match serde_json::from_str::<Event>(line).expect("every trace line parses") {
+            Event::RunStart(start) => {
+                assert_eq!(start.trace_id, trace_id, "{line}");
+                run_starts += 1;
+            }
+            Event::Span(span) => {
+                assert_eq!(span.trace_id, trace_id, "{line}");
+                assert!(span.path.starts_with("run"), "{}", span.path);
+                spans += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(run_starts >= 1, "the run start is on the trace");
+    assert!(spans >= 2, "phase spans are on the trace: {trace}");
+
+    // (3) The journalled record reloads with the same trace id.
+    let (records, _) = momsynth_serve::Journal::open(&root).unwrap().load_all();
+    let record = records.iter().find(|r| r.id == id).expect("record journalled");
+    assert_eq!(record.trace_id, trace_id);
+
+    // (4) The protocol agrees: `status` echoes the trace id, `metrics`
+    // reports the lifecycle, the text variant is scrape-ready.
+    let input = format!(
+        "{}\n{}\n{}\n",
+        format_args!(r#"{{"cmd":"status","id":"{id}"}}"#),
+        r#"{"cmd":"metrics"}"#,
+        r#"{"cmd":"metrics","format":"text"}"#,
+    );
+    let mut output = Vec::new();
+    let stop = AtomicBool::new(false);
+    socket::serve_stdio(&server, input.as_bytes(), &mut output, &stop);
+    let lines: Vec<serde_json::Value> = String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(lines.len(), 3);
+    let job = lines[0].get("job").expect("status reply");
+    assert_eq!(job.get("trace_id").and_then(|v| v.as_str()), Some(trace_id.as_str()));
+    let server_block = lines[0].get("server").expect("server health block");
+    assert_eq!(server_block.get("queue_depth").and_then(|v| v.as_u64()), Some(0));
+    assert!(server_block.get("uptime_s").and_then(|v| v.as_f64()).unwrap_or(-1.0) >= 0.0);
+
+    let counter = |name: &str| -> u64 {
+        lines[1]["metrics"]["counters"]
+            .as_array()
+            .expect("counters array")
+            .iter()
+            .filter(|c| c.get("name").and_then(|v| v.as_str()) == Some(name))
+            .filter_map(|c| c.get("value").and_then(|v| v.as_u64()))
+            .sum()
+    };
+    assert_eq!(counter("momsynth_jobs_submitted_total"), 1);
+    assert_eq!(counter("momsynth_jobs_terminal_total"), 1);
+    assert!(counter("momsynth_evaluations_total") > 0, "core loop is instrumented");
+    let histogram_count = |name: &str| -> u64 {
+        lines[1]["metrics"]["histograms"]
+            .as_array()
+            .expect("histograms array")
+            .iter()
+            .filter(|h| h.get("name").and_then(|v| v.as_str()) == Some(name))
+            .filter_map(|h| h.get("count").and_then(|v| v.as_u64()))
+            .sum()
+    };
+    assert!(histogram_count("momsynth_run_phase_seconds") > 0, "phase latencies recorded");
+    assert!(histogram_count("momsynth_journal_write_seconds") > 0, "journal writes timed");
+    let text = lines[2].get("text").and_then(|v| v.as_str()).expect("text exposition");
+    assert!(text.contains("# TYPE momsynth_jobs_submitted_total counter"), "{text}");
+
+    // (5) A live HTTP scrape of the same registry tells the same story.
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (addr, handle) =
+        momsynth_serve::spawn_exposition("127.0.0.1:0", server.metrics(), Arc::clone(&shutdown))
+            .unwrap();
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    write!(conn, "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").unwrap();
+    let mut scrape = String::new();
+    conn.read_to_string(&mut scrape).unwrap();
+    assert!(scrape.starts_with("HTTP/1.1 200 OK"), "{scrape}");
+    assert!(scrape.contains("momsynth_jobs_submitted_total 1"), "{scrape}");
+    assert!(scrape.contains("state=\"verified\""), "{scrape}");
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
+
+    // (6) Going terminal journalled a per-job metrics snapshot.
+    let snapshot_path = server.journal().metrics_path(&id);
+    assert!(snapshot_path.exists(), "terminal transition snapshots metrics");
+    let snapshot: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&snapshot_path).unwrap()).unwrap();
+    assert!(
+        snapshot["counters"].as_array().is_some_and(|c| !c.is_empty()),
+        "journalled snapshot is populated"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
 #[test]
 fn the_stdio_protocol_round_trips_submit_wait_result() {
     let root = tmp_root("stdio");

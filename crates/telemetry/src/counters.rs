@@ -18,6 +18,7 @@ pub struct CounterSet {
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
     evaluated: Cell<u64>,
+    cache_evictions: Cell<u64>,
     improve_applied: [Cell<u64>; OPERATOR_COUNT],
     improve_accepted: [Cell<u64>; OPERATOR_COUNT],
 }
@@ -80,6 +81,11 @@ impl CounterSet {
         self.evaluated.set(self.evaluated.get() + n);
     }
 
+    /// Counts `n` entries evicted from the evaluation cache.
+    pub fn add_cache_evictions(&self, n: u64) {
+        self.cache_evictions.set(self.cache_evictions.get() + n);
+    }
+
     /// Adds another snapshot's totals onto this set. Addition commutes,
     /// so folding per-worker counters back in after a parallel batch
     /// yields thread-count-independent totals.
@@ -94,6 +100,7 @@ impl CounterSet {
         self.cache_hits.set(self.cache_hits.get() + other.cache_hits);
         self.cache_misses.set(self.cache_misses.get() + other.cache_misses);
         self.evaluated.set(self.evaluated.get() + other.evaluated);
+        self.cache_evictions.set(self.cache_evictions.get() + other.cache_evictions);
         for (cell, &v) in self.improve_applied.iter().zip(&other.improve_applied) {
             cell.set(cell.get() + v);
         }
@@ -113,6 +120,7 @@ impl CounterSet {
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
             evaluated: self.evaluated.get(),
+            cache_evictions: self.cache_evictions.get(),
             improve_applied: self.improve_applied.iter().map(Cell::get).collect(),
             improve_accepted: self.improve_accepted.iter().map(Cell::get).collect(),
         }
@@ -129,6 +137,7 @@ impl CounterSet {
         self.cache_hits.set(counters.cache_hits);
         self.cache_misses.set(counters.cache_misses);
         self.evaluated.set(counters.evaluated);
+        self.cache_evictions.set(counters.cache_evictions);
         for (cell, &v) in self.improve_applied.iter().zip(&counters.improve_applied) {
             cell.set(v);
         }
@@ -170,10 +179,12 @@ mod tests {
         set.add_cache_hits(3);
         set.add_cache_misses(5);
         set.add_evaluated(4);
+        set.add_cache_evictions(2);
         let snap = set.snapshot();
         assert_eq!(snap.cache_hits, 3);
         assert_eq!(snap.cache_misses, 5);
         assert_eq!(snap.evaluated, 4);
+        assert_eq!(snap.cache_evictions, 2);
         assert!((snap.cache_hit_rate() - 3.0 / 8.0).abs() < 1e-12);
         assert_eq!(Counters::default().cache_hit_rate(), 0.0);
 

@@ -24,8 +24,36 @@ pub enum Event {
     Phase(PhaseTiming),
     /// A non-fatal problem occurred.
     Warning(Warning),
+    /// An accumulated trace span (collapsed-stack path + wall time).
+    Span(SpanEvent),
     /// The run finished.
     Summary(RunSummary),
+}
+
+/// An accumulated wall-time span of a traced region, identified by a
+/// flamegraph-style collapsed-stack path.
+///
+/// Spans carry the job's trace identifier end to end: the serve layer
+/// mints one ID per job at submission, the synthesis core emits its
+/// phase spans under that ID, and the journal persists it — so a status
+/// response, a trace line and a journal record of the same job all
+/// agree. `momsynth profile` folds these lines into a per-phase
+/// self-time report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Identifier threading all spans of one traced unit of work
+    /// (typically one job attempt). Empty for untraced runs.
+    #[serde(default)]
+    pub trace_id: String,
+    /// `;`-separated path from the root span down to this region, e.g.
+    /// `run;fitness_eval;voltage_scaling` — the collapsed-stack format
+    /// flamegraph tooling expects.
+    pub path: String,
+    /// Total nanoseconds accumulated in this region (children
+    /// included; self time is derived by subtracting child paths).
+    pub nanos: u64,
+    /// Number of individual spans folded into this total.
+    pub spans: u64,
 }
 
 /// Identity of a starting synthesis run.
@@ -53,6 +81,11 @@ pub struct RunStart {
     /// Fraction of (task, candidate PE) pairs the static analyzer proved
     /// infeasible and pruned from the genome domain, in `[0, 1]`.
     pub pruned_domain_ratio: f64,
+    /// Trace identifier threading this run's spans, status records and
+    /// journal entries together. Empty in traces written before tracing
+    /// existed and for untraced runs.
+    #[serde(default)]
+    pub trace_id: String,
 }
 
 /// Cumulative run counters, carried by every [`GenerationEvent`] and
@@ -76,6 +109,10 @@ pub struct Counters {
     /// Genomes actually run through the constructive inner loop. At most
     /// `cache_misses`: identical genomes within one batch are priced once.
     pub evaluated: u64,
+    /// Entries evicted from the evaluation cache to make room. Absent
+    /// (zero) in traces written before eviction accounting existed.
+    #[serde(default)]
+    pub cache_evictions: u64,
     /// Applications of each improvement operator (see [`OPERATOR_NAMES`]).
     pub improve_applied: Vec<u64>,
     /// Applications that actually changed the genome, per operator.
@@ -106,6 +143,7 @@ impl Default for Counters {
             cache_hits: 0,
             cache_misses: 0,
             evaluated: 0,
+            cache_evictions: 0,
             improve_applied: vec![0; OPERATOR_COUNT],
             improve_accepted: vec![0; OPERATOR_COUNT],
         }
@@ -278,6 +316,7 @@ mod tests {
                 resumed_generation: Some(4),
                 power_lower_bound_mw: 0.75,
                 pruned_domain_ratio: 0.125,
+                trace_id: "trace-1234".into(),
             }),
             Event::Generation(GenerationEvent {
                 generation: 5,
@@ -297,6 +336,12 @@ mod tests {
                 depth: 1,
             }),
             Event::Warning(Warning { message: "checkpoint not saved".into() }),
+            Event::Span(SpanEvent {
+                trace_id: "trace-1234".into(),
+                path: "run;fitness_eval;voltage_scaling".into(),
+                nanos: 98765,
+                spans: 42,
+            }),
         ];
         for event in events {
             let json = serde_json::to_string(&event).unwrap();
@@ -339,6 +384,34 @@ mod tests {
         let Event::Generation(g) = event else { panic!("not a generation") };
         assert_eq!(g.evals_per_sec, 0.0);
         assert_eq!(g.cache_hit_rate, 0.0);
+        // Eviction accounting postdates this trace format too.
+        assert_eq!(g.counters.cache_evictions, 0);
+    }
+
+    #[test]
+    fn run_starts_without_trace_id_still_parse() {
+        // A trace line written before span tracing existed.
+        let json = r#"{"RunStart":{"system":"s","seed":1,
+            "probability_aware":true,"dvs":false,"modes":2,
+            "genome_len":8,"resumed_generation":null,
+            "power_lower_bound_mw":0.0,"pruned_domain_ratio":0.0}}"#;
+        let event: Event = serde_json::from_str(json).unwrap();
+        let Event::RunStart(start) = event else { panic!("not a run start") };
+        assert_eq!(start.trace_id, "");
+    }
+
+    #[test]
+    fn span_events_are_externally_tagged_and_round_trip() {
+        let span = SpanEvent {
+            trace_id: "t-1".into(),
+            path: "run;fitness_eval".into(),
+            nanos: 1_000,
+            spans: 3,
+        };
+        let json = serde_json::to_string(&Event::Span(span.clone())).unwrap();
+        assert!(json.starts_with("{\"Span\""), "{json}");
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Event::Span(span));
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * [`PhaseTiming`] — accumulated monotonic-clock spans of one inner
 //!   [`Phase`];
 //! * [`Warning`] — a non-fatal condition (e.g. a failed checkpoint save);
+//! * [`SpanEvent`] — an accumulated trace span: a flamegraph-style
+//!   collapsed-stack path (`run;fitness_eval;voltage_scaling`) plus the
+//!   job-wide trace ID, consumed by `momsynth profile`;
 //! * [`RunSummary`] — the machine-readable end-of-run metrics: final
 //!   p̄ per Eq. 1 of the paper, per-mode dynamic/static power breakdown,
 //!   stop reason, wall time and evaluation throughput.
@@ -71,8 +74,8 @@ mod timing;
 
 pub use counters::CounterSet;
 pub use event::{
-    Counters, Event, GenerationEvent, JobEvent, ModeSummary, RunStart, RunSummary, Warning,
-    OPERATOR_COUNT, OPERATOR_NAMES,
+    Counters, Event, GenerationEvent, JobEvent, ModeSummary, RunStart, RunSummary, SpanEvent,
+    Warning, OPERATOR_COUNT, OPERATOR_NAMES,
 };
 pub use sink::{Fanout, JsonlSink, MemorySink, NullSink, ProgressSink, Sink, WarningSink, NULL};
 pub use timing::{Phase, PhaseAccumulator, PhaseGuard, PhaseTiming};

@@ -1,16 +1,20 @@
 //! Event sinks: no-op, JSONL file, in-memory, stderr and fan-out.
 
-use std::cell::RefCell;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::Mutex;
 
 use crate::event::Event;
 
 /// A consumer of telemetry events.
 ///
 /// `record` takes `&self` so a sink can be shared by reference through a
-/// whole synthesis stack; sinks use interior mutability as needed.
+/// whole synthesis stack; sinks use interior mutability as needed. The
+/// built-in stateful sinks guard their state with a [`Mutex`], so one
+/// sink instance can be written from several threads and every recorded
+/// event stays whole — concurrent writers never interleave partial
+/// events or partial JSONL lines.
 ///
 /// Producers must gate *expensive* event construction (fitness
 /// statistics, phase reports, summaries) behind [`Sink::enabled`]; cheap
@@ -45,10 +49,11 @@ impl Sink for NullSink {
     fn record(&self, _event: &Event) {}
 }
 
-/// Collects events in memory; useful in tests and harnesses.
+/// Collects events in memory; useful in tests and harnesses. Safe to
+/// share across threads: each recorded event is appended atomically.
 #[derive(Debug, Default)]
 pub struct MemorySink {
-    events: RefCell<Vec<Event>>,
+    events: Mutex<Vec<Event>>,
 }
 
 impl MemorySink {
@@ -59,25 +64,27 @@ impl MemorySink {
 
     /// A copy of everything recorded so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.borrow().clone()
+        self.events.lock().expect("memory sink poisoned").clone()
     }
 
     /// Drains and returns everything recorded so far.
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(&mut *self.events.borrow_mut())
+        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
     }
 }
 
 impl Sink for MemorySink {
     fn record(&self, event: &Event) {
-        self.events.borrow_mut().push(event.clone());
+        self.events.lock().expect("memory sink poisoned").push(event.clone());
     }
 }
 
-/// Appends one JSON object per event to a file (JSON Lines).
+/// Appends one JSON object per event to a file (JSON Lines). Safe to
+/// share across threads: events are serialised outside the lock, but
+/// each line is written under it, so lines never interleave.
 #[derive(Debug)]
 pub struct JsonlSink {
-    writer: RefCell<BufWriter<File>>,
+    writer: Mutex<BufWriter<File>>,
 }
 
 impl JsonlSink {
@@ -88,7 +95,7 @@ impl JsonlSink {
     /// Propagates the underlying file-creation error.
     pub fn create(path: &Path) -> std::io::Result<Self> {
         let file = File::create(path)?;
-        Ok(Self { writer: RefCell::new(BufWriter::new(file)) })
+        Ok(Self { writer: Mutex::new(BufWriter::new(file)) })
     }
 
     /// Opens `path` for appending (creating it if absent), so a resumed
@@ -99,7 +106,7 @@ impl JsonlSink {
     /// Propagates the underlying file-open error.
     pub fn append(path: &Path) -> std::io::Result<Self> {
         let file = File::options().create(true).append(true).open(path)?;
-        Ok(Self { writer: RefCell::new(BufWriter::new(file)) })
+        Ok(Self { writer: Mutex::new(BufWriter::new(file)) })
     }
 }
 
@@ -109,13 +116,13 @@ impl Sink for JsonlSink {
         // I/O errors are deliberately swallowed: telemetry must never
         // take the run down.
         if let Ok(json) = serde_json::to_string(event) {
-            let mut w = self.writer.borrow_mut();
+            let mut w = self.writer.lock().expect("jsonl sink poisoned");
             let _ = writeln!(w, "{json}");
         }
     }
 
     fn flush(&self) {
-        let _ = self.writer.borrow_mut().flush();
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
     }
 }
 
@@ -164,9 +171,11 @@ impl Sink for WarningSink {
 }
 
 /// Broadcasts events to several sinks; enabled when any member is.
+/// Members must be thread-safe, so a fan-out shared across worker
+/// threads delivers each event to every member without tearing.
 #[derive(Default)]
 pub struct Fanout {
-    sinks: Vec<Box<dyn Sink>>,
+    sinks: Vec<Box<dyn Sink + Send + Sync>>,
 }
 
 impl std::fmt::Debug for Fanout {
@@ -182,7 +191,7 @@ impl Fanout {
     }
 
     /// Adds a member sink.
-    pub fn push(&mut self, sink: Box<dyn Sink>) {
+    pub fn push(&mut self, sink: Box<dyn Sink + Send + Sync>) {
         self.sinks.push(sink);
     }
 

@@ -24,6 +24,7 @@
 //! | [`synthesis`] | the paper's contribution: multi-mode mapping GA with improvement operators |
 //! | [`generators`] | benchmark generators: mul1–mul12 suite, smart phone, motivational examples |
 //! | [`telemetry`] | structured run events, phase timers and machine-readable run summaries |
+//! | [`metrics`] | low-overhead service instruments (counters, gauges, histograms) with Prometheus-style exposition |
 //! | [`check`] | independent end-to-end verification of finished synthesis results |
 //! | [`analyze`] | pre-synthesis static feasibility analysis with provable bounds |
 //!
@@ -49,6 +50,7 @@ pub use momsynth_core as synthesis;
 pub use momsynth_dvs as dvs;
 pub use momsynth_ga as ga;
 pub use momsynth_gen as generators;
+pub use momsynth_metrics as metrics;
 pub use momsynth_model as model;
 pub use momsynth_power as power;
 pub use momsynth_sched as sched;
