@@ -13,18 +13,27 @@
 //!   types implementable nowhere else (constraint (a) of the paper);
 //!   for reconfigurable PEs the per-mode maximum, since cores can be
 //!   swapped between modes.
-//! - **Power.** A probability-weighted Eq. 1 lower bound `p̄_LB`: each
-//!   task priced at its cheapest capable PE at the lowest legal supply
-//!   voltage, communications free, static power excluded. Every term of
-//!   Eq. 1 the bound drops is non-negative and every term it keeps is at
-//!   its minimum, so `p̄ ≥ p̄_LB` for *any* mapping of the system.
+//! - **Power.** A probability-weighted Eq. 1 lower bound `p̄_LB` built
+//!   from three per-mode floors: a *load floor* pricing each task at its
+//!   cheapest capable PE at nominal voltage; a *DVS floor* that grants
+//!   each candidate its deepest provably reachable supply drop — limited
+//!   by the rail's lowest legal level and by the slack window the task's
+//!   path floors leave it (the PV-DVS scaler never stretches past
+//!   deadlines or the period); and a *communication floor* pricing
+//!   transfers whose endpoint candidate sets are disjoint (remote under
+//!   every mapping) at the cheapest routable link. Static power is
+//!   excluded, so `p̄ ≥ p̄_LB` for every mapping the evaluator can
+//!   produce.
 //! - **Transitions.** The `t_T^max` floor from FPGA reconfiguration
 //!   times, and OMSM reachability.
 //! - **Genome domains.** The per-`(mode, task)` capable-PE sets, with
 //!   `(task, PE)` pairs removed when mapping the task there provably
-//!   violates a deadline or the period. The synthesiser feeds these into
-//!   genome construction so mutation and crossover never generate a gene
-//!   outside its statically proven domain.
+//!   violates a deadline or the period, and whole PEs removed from a
+//!   mode when another PE *dominates* them — is provably no worse along
+//!   every fitness axis for every task of the mode (see `dominance.rs`).
+//!   The synthesiser feeds these into genome construction so mutation
+//!   and crossover never generate a gene outside its statically proven
+//!   domain, and `momsynth prove` branches only over the reduced space.
 //!
 //! Findings are graded [`Severity::Error`] (a *proof* of infeasibility),
 //! [`Severity::Warning`] or [`Severity::Info`]. Like `momsynth-check`,
@@ -58,34 +67,59 @@
 
 #![warn(missing_docs)]
 
+mod dominance;
 mod report;
 
-pub use report::{Analysis, AreaBound, Finding, ModeBounds, Severity};
+pub use report::{Analysis, AreaBound, DomainReduction, Finding, ModeBounds, Severity};
 
 use momsynth_dvs::VoltageModel;
 use momsynth_model::ids::{GlobalTaskId, PeId, TaskTypeId};
 use momsynth_model::omsm::PROBABILITY_SUM_TOLERANCE;
-use momsynth_model::units::{Cells, Seconds, Watts};
+use momsynth_model::units::{Cells, Joules, Seconds, Watts};
 use momsynth_model::{Pe, System, TaskGraph};
 
 /// `true` when `value` exceeds `bound` by more than float noise. Used
 /// for every infeasibility verdict so an *exactly* tight specification —
 /// which the constructive flow can still schedule — is never rejected.
-fn exceeds(value: Seconds, bound: Seconds) -> bool {
+pub(crate) fn exceeds(value: Seconds, bound: Seconds) -> bool {
     value.value() > bound.value() + (1e-9 * bound.value().abs()).max(1e-12)
 }
 
-/// The provable multiplicative floor on a task's energy on `pe`: with
-/// DVS the supply can drop to the lowest legal level `v_min`, scaling
-/// energy by `(v_min / v_max)²` (the alpha-power model's energy factor);
-/// without DVS the nominal energy stands.
-fn dvs_energy_floor(pe: &Pe) -> f64 {
+/// The provable multiplicative floor on the energy of a task with
+/// nominal execution time `exec` on `pe`, given that no evaluated
+/// schedule ever stretches the task beyond `allowed` seconds (the PV-DVS
+/// scaler never violates deadlines or the period, and leaves already-late
+/// schedules at nominal timing).
+///
+/// Two floors compose: the supply cannot drop below the lowest legal
+/// level `v_min`, and it cannot drop below the continuous voltage whose
+/// stretch factor fills the `allowed / exec` window (the convex Eq. 1
+/// energy/stretch trade-off of the alpha-power model). Without DVS the
+/// nominal energy stands.
+fn dvs_energy_floor(pe: &Pe, exec: Seconds, allowed: Seconds) -> f64 {
     let Some(cap) = pe.dvs() else { return 1.0 };
     let (v_max, v_t) = (cap.v_max(), cap.v_threshold());
     if !v_max.value().is_finite() || !v_t.value().is_finite() || v_max <= v_t {
         return 1.0; // Degenerate capability: fall back to the nominal energy.
     }
-    VoltageModel::from_capability(cap).energy_factor(cap.v_min()).clamp(0.0, 1.0)
+    let model = VoltageModel::from_capability(cap);
+    let v_min = cap.v_min();
+    let vmin_floor = model.energy_factor(v_min).clamp(0.0, 1.0);
+    let k_vmin = if v_min.value() > v_t.value() && v_min.value().is_finite() {
+        model.max_stretch(v_min)
+    } else {
+        f64::INFINITY
+    };
+    let k_allowed = if exec.value() > 0.0 && allowed.value().is_finite() {
+        (allowed.value() / exec.value()).max(1.0)
+    } else {
+        f64::INFINITY
+    };
+    let k = k_vmin.min(k_allowed);
+    if !k.is_finite() {
+        return vmin_floor;
+    }
+    model.energy_factor_for_stretch(k).clamp(vmin_floor, 1.0)
 }
 
 /// Per-task path floors of one mode: earliest-finish and downstream-tail
@@ -100,7 +134,10 @@ struct PathFloors {
     tail_lb: Vec<Seconds>,
 }
 
-fn path_floors(graph: &TaskGraph, t_min: &[Seconds]) -> PathFloors {
+/// `comm_delay` holds, per communication, a provable lower bound on the
+/// edge's latency (non-zero only for provably remote transfers), so the
+/// path floors price unavoidable link traffic on the critical path.
+fn path_floors(graph: &TaskGraph, t_min: &[Seconds], comm_delay: &[Seconds]) -> PathFloors {
     let n = graph.task_count();
     let mut start_lb = vec![Seconds::ZERO; n];
     let mut finish_lb = vec![Seconds::ZERO; n];
@@ -108,7 +145,7 @@ fn path_floors(graph: &TaskGraph, t_min: &[Seconds]) -> PathFloors {
         let start = graph
             .predecessors(task)
             .iter()
-            .map(|&(_, pred)| finish_lb[pred.index()])
+            .map(|&(c, pred)| finish_lb[pred.index()] + comm_delay[c.index()])
             .fold(Seconds::ZERO, Seconds::max);
         start_lb[task.index()] = start;
         finish_lb[task.index()] = start + t_min[task.index()];
@@ -118,7 +155,7 @@ fn path_floors(graph: &TaskGraph, t_min: &[Seconds]) -> PathFloors {
         tail_lb[task.index()] = graph
             .successors(task)
             .iter()
-            .map(|&(_, succ)| t_min[succ.index()] + tail_lb[succ.index()])
+            .map(|&(c, succ)| comm_delay[c.index()] + t_min[succ.index()] + tail_lb[succ.index()])
             .fold(Seconds::ZERO, Seconds::max);
     }
     PathFloors { start_lb, finish_lb, tail_lb }
@@ -136,6 +173,7 @@ pub fn analyze_system(system: &System) -> Analysis {
     let mut capable_pes: Vec<Vec<PeId>> = Vec::with_capacity(omsm.total_task_count());
     let mut total_candidates = 0usize;
     let mut pruned_candidates = 0usize;
+    let mut dominated_candidates = 0usize;
     let mut power_lower_bound = Watts::ZERO;
 
     // OMSM reachability (meaningful for multi-mode systems only).
@@ -178,7 +216,48 @@ pub fn analyze_system(system: &System) -> Analysis {
             }
         }
 
-        let floors = path_floors(graph, &t_min);
+        // Communication floors. When the candidate sets of a
+        // communication's endpoints are disjoint the transfer is remote
+        // under *every* mapping: the cheapest routable link prices an
+        // unavoidable energy term and the fastest routable link an
+        // unavoidable latency on the path floors.
+        let mut comm_floor = Watts::ZERO;
+        let mut comm_delay = vec![Seconds::ZERO; graph.comm_count()];
+        for (cid, comm) in graph.comms() {
+            let src = &candidates[comm.src().index()];
+            let dst = &candidates[comm.dst().index()];
+            if src.is_empty() || dst.is_empty() || src.iter().any(|pe| dst.contains(pe)) {
+                continue; // The transfer may be PE-local (free) under some mapping.
+            }
+            let mut min_time: Option<Seconds> = None;
+            let mut min_energy: Option<Joules> = None;
+            for &pa in src {
+                for &pb in dst {
+                    for cl_id in arch.cls_between(pa, pb) {
+                        let cl = arch.cl(cl_id);
+                        let time = cl.transfer_time(comm.data_units());
+                        let energy = cl.transfer_power() * time;
+                        min_time = Some(min_time.map_or(time, |t| t.min(time)));
+                        min_energy = Some(min_energy.map_or(energy, |e| {
+                            if energy.value() < e.value() { energy } else { e }
+                        }));
+                    }
+                }
+            }
+            // If no link can route any capable pair, every mapping is
+            // unroutable — the scheduler will reject the system, so no
+            // floor is claimed here.
+            if let Some(time) = min_time {
+                comm_delay[cid.index()] = time;
+            }
+            if let Some(energy) = min_energy {
+                if period > Seconds::ZERO {
+                    comm_floor += energy / period;
+                }
+            }
+        }
+
+        let floors = path_floors(graph, &t_min, &comm_delay);
         let critical_path_lb =
             floors.finish_lb.iter().copied().fold(Seconds::ZERO, Seconds::max);
         if exceeds(critical_path_lb, period) {
@@ -189,7 +268,12 @@ pub fn analyze_system(system: &System) -> Analysis {
             });
         }
 
-        let mut power_lb = Watts::ZERO;
+        // Mode-level dominance: PEs shadowed by a no-worse witness leave
+        // every genome domain of this mode (soundness: `dominance`).
+        let shadowings = dominance::mode_shadowings(system, mode, &candidates);
+
+        let mut load_floor = Watts::ZERO;
+        let mut dvs_floor = Watts::ZERO;
         for task in graph.task_ids() {
             let i = task.index();
             let ty = graph.task(task).task_type();
@@ -251,26 +335,61 @@ pub fn analyze_system(system: &System) -> Analysis {
             } else {
                 pruned_candidates += pruned.len();
                 findings.append(&mut pruned);
+                // A shadowing's witness is never deadline-pruned (it only
+                // fires in slack-safe modes, where no candidate is late),
+                // so removing dominated PEs cannot empty the domain.
+                for s in &shadowings {
+                    if let Some(at) = kept.iter().position(|&pe| pe == s.dominated) {
+                        kept.remove(at);
+                        dominated_candidates += 1;
+                        findings.push(Finding::GeneDominated {
+                            mode,
+                            task,
+                            pe: s.dominated,
+                            by: s.by,
+                        });
+                    }
+                }
                 capable_pes.push(kept);
             }
 
-            // Cheapest capable implementation at the lowest legal
-            // voltage, over the *full* candidate list: the energy floor
-            // must hold for any mapping, not only unpruned ones.
-            let energy_floor = full
-                .iter()
-                .filter_map(|&pe| {
-                    let imp = tech.impl_of(ty, pe)?;
-                    Some(imp.energy() * dvs_energy_floor(arch.pe(pe)))
-                })
-                .min_by(|a, b| a.value().total_cmp(&b.value()));
-            if let Some(energy) = energy_floor {
-                if period > Seconds::ZERO {
-                    power_lb += energy / period;
+            // Cheapest capable implementation, over the *full* candidate
+            // list: the energy floor must hold for any mapping, not only
+            // unpruned ones. `load_floor` prices nominal voltage;
+            // `dvs_floor` additionally grants each candidate its largest
+            // provably reachable supply drop — limited both by the rail's
+            // lowest level and by the slack window `allowed` that any
+            // evaluated schedule leaves the task (the PV-DVS scaler never
+            // stretches past deadlines or the period).
+            let allowed = (effective - floors.start_lb[i])
+                .min(period - floors.start_lb[i] - floors.tail_lb[i]);
+            let mut nominal_min: Option<Joules> = None;
+            let mut scaled_min: Option<Joules> = None;
+            for &pe in full {
+                let Some(imp) = tech.impl_of(ty, pe) else { continue };
+                let nominal = imp.energy();
+                let scaled = nominal * dvs_energy_floor(arch.pe(pe), imp.exec_time(), allowed);
+                let keep_min = |slot: &mut Option<Joules>, candidate: Joules| {
+                    let better =
+                        slot.is_none_or(|best| candidate.value() < best.value());
+                    if better {
+                        *slot = Some(candidate);
+                    }
+                };
+                keep_min(&mut nominal_min, nominal);
+                keep_min(&mut scaled_min, scaled);
+            }
+            if period > Seconds::ZERO {
+                if let Some(energy) = nominal_min {
+                    load_floor += energy / period;
+                }
+                if let Some(energy) = scaled_min {
+                    dvs_floor += energy / period;
                 }
             }
         }
 
+        let power_lb = dvs_floor + comm_floor;
         power_lower_bound += power_lb * m.probability();
         mode_bounds.push(ModeBounds {
             mode,
@@ -278,6 +397,9 @@ pub fn analyze_system(system: &System) -> Analysis {
             critical_path_lb,
             period,
             power_lb,
+            load_floor,
+            dvs_floor,
+            comm_floor,
         });
     }
 
@@ -347,10 +469,10 @@ pub fn analyze_system(system: &System) -> Analysis {
         }
     }
 
-    let pruned_domain_ratio = if total_candidates == 0 {
-        0.0
-    } else {
-        pruned_candidates as f64 / total_candidates as f64
+    let domain_reduction = DomainReduction {
+        total_candidates,
+        pruned_by_deadline: pruned_candidates,
+        pruned_by_dominance: dominated_candidates,
     };
     Analysis {
         findings,
@@ -358,7 +480,8 @@ pub fn analyze_system(system: &System) -> Analysis {
         area_bounds,
         power_lower_bound,
         capable_pes,
-        pruned_domain_ratio,
+        pruned_domain_ratio: domain_reduction.ratio(),
+        domain_reduction,
     }
 }
 
@@ -437,6 +560,178 @@ mod tests {
             };
         }
         v
+    }
+
+    /// Two GPPs on one bus, no DVS. `spare` is capable of both types but
+    /// strictly more energetic and no cheaper in static power, so in the
+    /// (slack-safe) single mode it is shadowed by `main`.
+    fn redundant_gpp_system(period: f64) -> System {
+        let mut tech = TechLibraryBuilder::new();
+        let ta = tech.add_type("A");
+        let tb = tech.add_type("B");
+        let mut arch = ArchitectureBuilder::new();
+        let main = arch.add_pe(Pe::software("main", PeKind::Gpp, Watts::from_milli(0.1)));
+        let spare = arch.add_pe(Pe::software("spare", PeKind::Gpp, Watts::from_milli(0.2)));
+        arch.add_cl(Cl::bus(
+            "bus",
+            vec![main, spare],
+            Seconds::from_micros(1.0),
+            Watts::from_milli(1.0),
+            Watts::from_milli(0.01),
+        ))
+        .unwrap();
+        tech.set_impl(ta, main, Implementation::software(Seconds::new(0.1), Watts::new(0.2)));
+        tech.set_impl(ta, spare, Implementation::software(Seconds::new(0.1), Watts::new(0.3)));
+        tech.set_impl(tb, main, Implementation::software(Seconds::new(0.05), Watts::new(0.1)));
+        tech.set_impl(tb, spare, Implementation::software(Seconds::new(0.05), Watts::new(0.2)));
+        let mut g = TaskGraphBuilder::new("m", Seconds::new(period));
+        let a = g.add_task("a", ta);
+        let b = g.add_task("b", tb);
+        g.add_comm(a, b, 4.0).unwrap();
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        System::new("redundant-gpp", omsm.build().unwrap(), arch.build().unwrap(), tech.build())
+            .unwrap()
+    }
+
+    #[test]
+    fn dominated_gpp_is_removed_from_every_locus() {
+        let system = redundant_gpp_system(1.0);
+        let analysis = analyze_system(&system);
+        assert!(!analysis.has_errors(), "{analysis}");
+        // `spare` leaves both loci; `main` survives.
+        assert_eq!(analysis.capable_pes()[0], vec![PeId::new(0)]);
+        assert_eq!(analysis.capable_pes()[1], vec![PeId::new(0)]);
+        assert!((analysis.pruned_domain_ratio() - 0.5).abs() < 1e-12, "{analysis}");
+        let reduction = analysis.domain_reduction();
+        assert_eq!(reduction.total_candidates, 4);
+        assert_eq!(reduction.pruned_by_deadline, 0);
+        assert_eq!(reduction.pruned_by_dominance, 2);
+        assert_eq!(
+            codes(&analysis).iter().filter(|&&c| c == "gene-dominated").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn dominance_requires_slack_safety() {
+        // Worst case serialised: 0.1 + 0.05 + a 4 µs transfer, so
+        // W ≈ 0.150004 s. A period of exactly 0.15 s admits the
+        // critical path (0.15 s, communication-free floor) but sits
+        // below W: not every assignment is provably on time, so
+        // dominance must stand down.
+        let system = redundant_gpp_system(0.15);
+        let analysis = analyze_system(&system);
+        assert!(!analysis.has_errors(), "{analysis}");
+        assert_eq!(analysis.domain_reduction().pruned_by_dominance, 0, "{analysis}");
+        assert_eq!(analysis.capable_pes()[0].len(), 2);
+    }
+
+    #[test]
+    fn dominance_stands_down_under_dvs() {
+        // Same architecture, but the spare gains a DVS rail: voltage
+        // scaling redistributes slack globally, so shadowing is unsound
+        // and must not fire.
+        let system = redundant_gpp_system(1.0);
+        let mut v = serde_json::to_value(&system);
+        *path_mut(&mut v, &["arch", "pes", "1", "dvs"]) = serde_json::json!({
+            "v_max": 3.3, "v_threshold": 0.8, "levels": [1.65, 3.3],
+        });
+        let with_dvs: System = serde_json::from_value(&v).unwrap();
+        let analysis = analyze_system(&with_dvs);
+        assert_eq!(analysis.domain_reduction().pruned_by_dominance, 0, "{analysis}");
+        assert_eq!(analysis.capable_pes()[0].len(), 2);
+    }
+
+    #[test]
+    fn anchored_witness_justifies_higher_static_power() {
+        // Make the *cheap-energy* PE statically hungrier, so the plain
+        // static test fails — but anchor it with a task only it can run,
+        // and the shadowing goes through again.
+        let system = redundant_gpp_system(1.0);
+        let mut v = serde_json::to_value(&system);
+        *path_mut(&mut v, &["arch", "pes", "0", "static_power"]) = serde_json::json!(0.5e-3);
+        let expensive_main: System = serde_json::from_value(&v).unwrap();
+        let analysis = analyze_system(&expensive_main);
+        assert_eq!(analysis.domain_reduction().pruned_by_dominance, 0, "{analysis}");
+
+        // Strip type B's spare implementation: task `b` anchors `main`.
+        let mut v = serde_json::to_value(&system);
+        *path_mut(&mut v, &["arch", "pes", "0", "static_power"]) = serde_json::json!(0.5e-3);
+        let impls = path_mut(&mut v, &["tech", "impls", "1"]);
+        let serde_json::Value::Array(rows) = impls else { panic!("impls not an array") };
+        rows.retain(|row| row[0] == serde_json::json!(0));
+        let anchored: System = serde_json::from_value(&v).unwrap();
+        let analysis = analyze_system(&anchored);
+        assert!(!analysis.has_errors(), "{analysis}");
+        assert_eq!(analysis.domain_reduction().pruned_by_dominance, 1, "{analysis}");
+        assert_eq!(analysis.capable_pes()[0], vec![PeId::new(0)]);
+    }
+
+    #[test]
+    fn mode_bounds_report_the_floor_breakdown() {
+        let system = redundant_gpp_system(1.0);
+        let analysis = analyze_system(&system);
+        let b = &analysis.mode_bounds()[0];
+        // No DVS, no provably-remote comm: load = dvs floor, comm = 0.
+        let expected = (0.2 * 0.1 + 0.1 * 0.05) / 1.0;
+        assert!((b.load_floor.value() - expected).abs() < 1e-12);
+        assert_eq!(b.load_floor, b.dvs_floor);
+        assert_eq!(b.comm_floor, Watts::ZERO);
+        assert_eq!(b.power_lb, b.dvs_floor);
+        let json = analysis.to_json();
+        assert!(json["modes"][0]["load_floor_mw"].as_f64().unwrap() > 0.0);
+        assert_eq!(json["modes"][0]["comm_floor_mw"], serde_json::json!(0.0));
+        assert_eq!(json["domain_reduction"]["pruned_by_dominance"], serde_json::json!(2));
+    }
+
+    #[test]
+    fn provably_remote_comm_prices_link_floors() {
+        // Task `a` only on the CPU, `b` only on the ASIC: the transfer is
+        // remote under every mapping, so the bus prices a time floor on
+        // the critical path and an energy floor on the mode power.
+        let mut tech = TechLibraryBuilder::new();
+        let ta = tech.add_type("A");
+        let tb = tech.add_type("B");
+        let mut arch = ArchitectureBuilder::new();
+        let cpu = arch.add_pe(Pe::software("cpu", PeKind::Gpp, Watts::from_milli(0.1)));
+        let asic = arch.add_pe(Pe::hardware(
+            "asic",
+            PeKind::Asic,
+            Cells::new(600),
+            Watts::from_milli(0.05),
+        ));
+        arch.add_cl(Cl::bus(
+            "bus",
+            vec![cpu, asic],
+            Seconds::from_millis(1.0),
+            Watts::new(2.0),
+            Watts::from_milli(0.01),
+        ))
+        .unwrap();
+        tech.set_impl(ta, cpu, Implementation::software(Seconds::new(0.1), Watts::new(0.5)));
+        tech.set_impl(
+            tb,
+            asic,
+            Implementation::hardware(Seconds::new(0.01), Watts::new(0.005), Cells::new(240)),
+        );
+        let mut g = TaskGraphBuilder::new("m", Seconds::new(1.0));
+        let a = g.add_task("a", ta);
+        let b = g.add_task("b", tb);
+        g.add_comm(a, b, 8.0).unwrap();
+        let mut omsm = OmsmBuilder::new();
+        omsm.add_mode("m", 1.0, g.build().unwrap());
+        let system =
+            System::new("remote", omsm.build().unwrap(), arch.build().unwrap(), tech.build())
+                .unwrap();
+        let analysis = analyze_system(&system);
+        assert!(!analysis.has_errors(), "{analysis}");
+        let bounds = &analysis.mode_bounds()[0];
+        // Transfer: 8 units × 1 ms = 8 ms on the path, 2 W × 8 ms = 16 mJ.
+        assert!((bounds.critical_path_lb.value() - (0.1 + 0.008 + 0.01)).abs() < 1e-12);
+        assert!((bounds.comm_floor.value() - 2.0 * 0.008).abs() < 1e-12);
+        let exec = 0.5 * 0.1 + 0.005 * 0.01;
+        assert!((bounds.power_lb.value() - (exec + 0.016)).abs() < 1e-12);
     }
 
     #[test]

@@ -130,6 +130,21 @@ pub enum Finding {
         /// The bound the floor exceeds (effective deadline or period).
         deadline: Seconds,
     },
+    /// A `(task, PE)` pair was removed from the genome domain because
+    /// another PE dominates it in this mode: any assignment using the
+    /// dominated PE here can be rewritten onto the witness without
+    /// making timing, energy, area or static power worse, so at least
+    /// one optimum survives the removal.
+    GeneDominated {
+        /// The mode containing the task.
+        mode: ModeId,
+        /// The task whose domain shrank.
+        task: TaskId,
+        /// The dominated PE removed from the task's candidate list.
+        pe: PeId,
+        /// The dominating witness PE that remains in the domain.
+        by: PeId,
+    },
 }
 
 impl Finding {
@@ -143,7 +158,9 @@ impl Finding {
             Self::TransitionTimeBelowReconfigFloor { .. }
             | Self::ProbabilityMassDrift { .. }
             | Self::ModeUnreachable { .. } => Severity::Warning,
-            Self::ModeTrapping { .. } | Self::GenePruned { .. } => Severity::Info,
+            Self::ModeTrapping { .. }
+            | Self::GenePruned { .. }
+            | Self::GeneDominated { .. } => Severity::Info,
         }
     }
 
@@ -159,6 +176,7 @@ impl Finding {
             Self::ModeUnreachable { .. } => "mode-unreachable",
             Self::ModeTrapping { .. } => "mode-trapping",
             Self::GenePruned { .. } => "gene-pruned",
+            Self::GeneDominated { .. } => "gene-dominated",
         }
     }
 }
@@ -203,6 +221,11 @@ impl fmt::Display for Finding {
                 "task {task} of mode {mode} can never run on {pe}: its finish floor there is \
                  {floor:.6}, beyond the bound {deadline:.6} — gene pruned"
             ),
+            Self::GeneDominated { mode, task, pe, by } => write!(
+                f,
+                "task {task} of mode {mode} never needs {pe}: {by} is a no-worse host for \
+                 every task of the mode — gene dominated"
+            ),
         }
     }
 }
@@ -220,10 +243,49 @@ pub struct ModeBounds {
     pub critical_path_lb: Seconds,
     /// The mode's period `φ`.
     pub period: Seconds,
-    /// Lower bound on the mode's Eq. 1 power: every task priced at its
-    /// cheapest capable PE at the lowest legal supply voltage,
-    /// communication free, static power excluded.
+    /// Lower bound on the mode's Eq. 1 power: the sum of
+    /// [`ModeBounds::dvs_floor`] and [`ModeBounds::comm_floor`], static
+    /// power excluded.
     pub power_lb: Watts,
+    /// Load component of the bound: every task priced at its cheapest
+    /// capable PE at *nominal* supply voltage, communication free.
+    pub load_floor: Watts,
+    /// DVS-aware task component: like the load floor, but each candidate
+    /// is granted its deepest provably reachable supply drop — limited
+    /// by the rail's lowest legal level and by the slack window the
+    /// task's path floors leave it. Equal to the load floor on DVS-free
+    /// architectures; never above it.
+    pub dvs_floor: Watts,
+    /// Communication component: transfers whose endpoint candidate sets
+    /// are disjoint are remote under every mapping and priced at the
+    /// cheapest routable link.
+    pub comm_floor: Watts,
+}
+
+/// How much of the genome domain the analyzer proved away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainReduction {
+    /// Total `(task, PE)` candidate pairs in the technology library,
+    /// summed over all modes.
+    pub total_candidates: usize,
+    /// Pairs removed because the task provably misses a deadline or the
+    /// period on that PE.
+    pub pruned_by_deadline: usize,
+    /// Pairs removed because another PE dominates the candidate across
+    /// the whole mode.
+    pub pruned_by_dominance: usize,
+}
+
+impl DomainReduction {
+    /// Fraction of all candidate pairs removed, in `[0, 1]`.
+    pub fn ratio(&self) -> f64 {
+        if self.total_candidates == 0 {
+            0.0
+        } else {
+            (self.pruned_by_deadline + self.pruned_by_dominance) as f64
+                / self.total_candidates as f64
+        }
+    }
 }
 
 /// Static area bound of one hardware PE.
@@ -256,6 +318,7 @@ pub struct Analysis {
     pub(crate) power_lower_bound: Watts,
     pub(crate) capable_pes: Vec<Vec<PeId>>,
     pub(crate) pruned_domain_ratio: f64,
+    pub(crate) domain_reduction: DomainReduction,
 }
 
 impl Analysis {
@@ -292,10 +355,16 @@ impl Analysis {
     }
 
     /// Fraction of the technology library's `(task, PE)` candidate pairs
-    /// that were proven dead and removed from the genome domain, in
-    /// `[0, 1]`. `0.0` when nothing was pruned.
+    /// that were proven dead (or dominated) and removed from the genome
+    /// domain, in `[0, 1]`. `0.0` when nothing was pruned.
     pub fn pruned_domain_ratio(&self) -> f64 {
         self.pruned_domain_ratio
+    }
+
+    /// The domain-reduction tally behind
+    /// [`Analysis::pruned_domain_ratio`], split by pruning rule.
+    pub fn domain_reduction(&self) -> DomainReduction {
+        self.domain_reduction
     }
 
     /// `true` when no findings were produced at all.
@@ -327,11 +396,19 @@ impl Analysis {
             "infos": self.count(Severity::Info),
             "power_lower_bound_mw": self.power_lower_bound.as_milli(),
             "pruned_domain_ratio": self.pruned_domain_ratio,
+            "domain_reduction": serde_json::json!({
+                "total_candidates": self.domain_reduction.total_candidates,
+                "pruned_by_deadline": self.domain_reduction.pruned_by_deadline,
+                "pruned_by_dominance": self.domain_reduction.pruned_by_dominance,
+            }),
             "modes": self.mode_bounds.iter().map(|b| serde_json::json!({
                 "mode": b.name,
                 "critical_path_lb_s": b.critical_path_lb.value(),
                 "period_s": b.period.value(),
                 "power_lb_mw": b.power_lb.as_milli(),
+                "load_floor_mw": b.load_floor.as_milli(),
+                "dvs_floor_mw": b.dvs_floor.as_milli(),
+                "comm_floor_mw": b.comm_floor.as_milli(),
             })).collect::<Vec<_>>(),
             "area": self.area_bounds.iter().map(|b| serde_json::json!({
                 "pe": b.name,
@@ -358,11 +435,15 @@ impl fmt::Display for Analysis {
         for b in &self.mode_bounds {
             writeln!(
                 f,
-                "  mode {:<12} critical path ≥ {:.6}s (period {:.6}s), power ≥ {:.4} mW",
+                "  mode {:<12} critical path ≥ {:.6}s (period {:.6}s), power ≥ {:.4} mW \
+                 (load {:.4}, dvs {:.4}, comm {:.4})",
                 b.name,
                 b.critical_path_lb.value(),
                 b.period.value(),
-                b.power_lb.as_milli()
+                b.power_lb.as_milli(),
+                b.load_floor.as_milli(),
+                b.dvs_floor.as_milli(),
+                b.comm_floor.as_milli()
             )?;
         }
         for b in &self.area_bounds {

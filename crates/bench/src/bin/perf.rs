@@ -26,7 +26,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use momsynth_bench::{verified_summary, HarnessOptions};
-use momsynth_core::{SynthControl, Synthesizer};
+use momsynth_core::{prove, ProveOptions, SynthControl, Synthesizer};
 use momsynth_gen::automotive::automotive_ecu;
 use momsynth_gen::smartphone::smartphone;
 use momsynth_gen::suite::mul;
@@ -50,6 +50,12 @@ const METRICS_OVERHEAD_RUNS: usize = 3;
 /// Below this baseline wall time a 2% margin is smaller than timer and
 /// scheduler noise, so the overhead gate is reported but not enforced.
 const METRICS_GATE_MIN_BASELINE_S: f64 = 0.05;
+
+/// Leaf-evaluation budget of the per-workload optimality certificate.
+/// Enough to exhaust small spaces (gap 0); on the big benchmarks the
+/// branch-and-bound degrades to a sound gap bound in well under a
+/// second.
+const PROVE_BUDGET_EVALS: u64 = 5_000;
 
 #[derive(Debug, Serialize)]
 struct PerfRow {
@@ -82,6 +88,11 @@ struct PerfWorkload {
     /// Whether the pruning-on and pruning-off runs found the same best
     /// cost (pruning only removes provably infeasible genes).
     pruning_identical_best: bool,
+    /// Certified relative optimality gap of the serial best under a
+    /// [`PROVE_BUDGET_EVALS`]-leaf branch-and-bound certificate: `0.0`
+    /// when proven optimal, positive for a sound residual bound, `null`
+    /// when no finite certificate exists.
+    certified_gap: Option<f64>,
     rows: Vec<PerfRow>,
 }
 
@@ -265,9 +276,23 @@ fn bench_workload(
     let pruning_identical_best = serial_best
         .is_some_and(|(_, power)| (unpruned.best.power.average.as_milli() - power).abs() < 1e-9);
 
+    // Certify the serial best with a budgeted branch-and-bound proof:
+    // gap 0 when the pruned space was exhausted, a sound residual bound
+    // otherwise.
+    let certified_gap = serial_best.and_then(|(fitness, _)| {
+        let cfg = options.config(seed, true, dvs);
+        let prove_options = ProveOptions {
+            max_evals: PROVE_BUDGET_EVALS,
+            incumbent: Some(fitness),
+            ..ProveOptions::default()
+        };
+        let gap = prove(system, &cfg, &prove_options).ok()?.epsilon();
+        gap.is_finite().then_some(gap)
+    });
+
     println!(
         "{:<14} serial {:>7.2}s, {}x {:>7.2}s — speedup {:.2}x, hit rate {:.1}%, \
-         pruned {:.1}% (off: {:>7.2}s){}{}",
+         pruned {:.1}% (off: {:>7.2}s), certified gap {}{}{}",
         system.name(),
         rows[0].wall_time_s,
         PARALLEL_THREADS,
@@ -276,6 +301,7 @@ fn bench_workload(
         rows[1].cache_hit_rate * 100.0,
         pruned_domain_ratio * 100.0,
         wall_time_pruning_off_s,
+        certified_gap.map_or_else(|| "-".to_owned(), |g| format!("{g:.4}")),
         if identical_best { "" } else { "  BEST SOLUTIONS DIFFER" },
         if pruning_identical_best { "" } else { "  PRUNING CHANGED THE BEST" },
     );
@@ -288,6 +314,7 @@ fn bench_workload(
         wall_time_pruning_on_s: rows[0].wall_time_s,
         wall_time_pruning_off_s,
         pruning_identical_best,
+        certified_gap,
         rows,
     }
 }

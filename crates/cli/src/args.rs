@@ -94,6 +94,29 @@ pub enum Command {
         /// Where to write the JSON analysis report.
         report_out: Option<String>,
     },
+    /// `prove <system.json> [--budget N|Ts] [--dvs]
+    /// [--neglect-probabilities] [--seed S] [--quick]
+    /// [--report-out cert.json] [--quiet]` — certify a synthesis run with
+    /// an exact branch-and-bound optimality proof or a residual gap bound.
+    Prove {
+        /// Path of the system specification.
+        path: String,
+        /// Exploration budget for the branch-and-bound proof.
+        budget: ProveBudget,
+        /// Enable voltage scaling (the GA incumbent and the certificate
+        /// bound both account for it).
+        dvs: bool,
+        /// Use the probability-neglecting baseline flow.
+        neglect: bool,
+        /// GA seed for the incumbent run.
+        seed: u64,
+        /// Use the fast GA preset for the incumbent run.
+        quick: bool,
+        /// Where to write the JSON certificate.
+        report_out: Option<String>,
+        /// Silence all human chatter on stdout/stderr.
+        quiet: bool,
+    },
     /// `check <system.json> <solution.json> [--report-out report.json]` —
     /// independently re-verify a finished solution against every paper
     /// constraint.
@@ -224,6 +247,21 @@ pub enum GeneratePreset {
     Smartphone,
     /// The automotive ECU example (paper Table 3 flavour).
     Automotive,
+}
+
+/// The exploration budget of a `prove` run.
+///
+/// A bare integer (`--budget 50000`) caps the number of leaf evaluations
+/// the branch-and-bound search may price; an `s`-suffixed number
+/// (`--budget 10s`) caps its wall-clock time instead. Either way an
+/// exhausted budget degrades the certificate to a sound gap bound — the
+/// proof never hangs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProveBudget {
+    /// At most this many leaf evaluations (deterministic).
+    Evals(u64),
+    /// At most this many wall-clock seconds (non-deterministic).
+    Seconds(f64),
 }
 
 /// What the `dot` subcommand renders.
@@ -493,6 +531,58 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 i += 1;
             }
             Ok(Command::Analyze { path, report_out })
+        }
+        "prove" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| ParseError("prove requires a system file".into()))?
+                .clone();
+            let mut budget = ProveBudget::Evals(100_000);
+            let mut dvs = false;
+            let mut neglect = false;
+            let mut seed = 0;
+            let mut quick = false;
+            let mut report_out = None;
+            let mut quiet = false;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--budget" => {
+                        let v = take_value(args, &mut i, "--budget")?;
+                        budget = match v.strip_suffix('s') {
+                            Some(secs) => {
+                                let t: f64 = secs.parse().map_err(|_| {
+                                    ParseError(format!("invalid --budget `{v}`"))
+                                })?;
+                                if !t.is_finite() || t < 0.0 {
+                                    return Err(ParseError(format!("invalid --budget `{v}`")));
+                                }
+                                ProveBudget::Seconds(t)
+                            }
+                            None => ProveBudget::Evals(v.parse().map_err(|_| {
+                                ParseError(format!(
+                                    "invalid --budget `{v}` (use an eval count or `<T>s`)"
+                                ))
+                            })?),
+                        };
+                    }
+                    "--dvs" => dvs = true,
+                    "--neglect-probabilities" => neglect = true,
+                    "--seed" => {
+                        seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| ParseError("invalid --seed".into()))?;
+                    }
+                    "--quick" => quick = true,
+                    "--report-out" => {
+                        report_out = Some(take_value(args, &mut i, "--report-out")?.to_owned());
+                    }
+                    "--quiet" | "-q" => quiet = true,
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Prove { path, budget, dvs, neglect, seed, quick, report_out, quiet })
         }
         "check" => {
             let path = args
@@ -768,6 +858,11 @@ COMMANDS:
                              --progress, --quiet)
     analyze <system.json>    pre-synthesis static feasibility analysis
                              with provable bounds [--report-out report.json]
+    prove <system.json>      certify a synthesis run with an exact
+                             branch-and-bound optimality proof
+                             (--budget N|Ts, --dvs,
+                             --neglect-probabilities, --seed S, --quick,
+                             --report-out cert.json, --quiet)
     check <system.json> <solution.json>
                              re-verify a synthesis result against every
                              paper constraint [--report-out report.json]
@@ -796,6 +891,22 @@ ANALYZE:
     probability-weighted Eq. 1 power lower bound p̄_LB, mode-transition
     reconfiguration floors and OMSM reachability. Exit code 2 when the
     specification is provably infeasible (any error finding).
+
+PROVE:
+    Runs synthesis first (same flags as `synth`: --dvs,
+    --neglect-probabilities, --seed, --quick), then certifies the result
+    with a dominance-pruned branch-and-bound search over the whole
+    mapping space, bounded by the analyzer's admissible per-mode power
+    floors. The certificate is either `optimal` (the incumbent provably
+    attains the minimum fitness) or `gap-bound` with the residual
+    relative gap ε; an exhausted --budget (default 100000 evaluations;
+    `10s` caps wall-clock instead) degrades to a sound gap bound with
+    exit code 0 — the proof never hangs. The certified best solution is
+    re-proved by the independent checker before the certificate is
+    trusted. --report-out writes the certificate as JSON (`certified_gap`,
+    `lower_bound`, `explored`, `pruned_by_bound`, `pruned_by_dominance`).
+    Exit code 2 when the specification is infeasible or the checker
+    rejects the certified solution.
 
 CHECK:
     Re-derives mapping feasibility, schedule legality, deadline/period
@@ -849,10 +960,11 @@ SERVER MONITORING:
 
 EXIT CODES:
     0  success, best solution feasible / check found no violations /
-       job verified
+       prove certified (optimal or gap bound) / job verified
     1  usage, load or synthesis error / server unreachable
     2  finished, but the best solution violates constraints / check
        found violations / analyze proved the specification infeasible /
+       prove hit an infeasible spec or a rejected certificate /
        job failed, timed out or was shed
     3  cancelled (Ctrl-C); best-so-far solution was reported / job was
        cancelled
@@ -1087,6 +1199,49 @@ mod tests {
         assert!(parse(&argv("analyze")).is_err());
         assert!(parse(&argv("analyze sys.json --report-out")).is_err());
         assert!(parse(&argv("analyze sys.json --bogus")).is_err());
+    }
+
+    #[test]
+    fn prove_parses() {
+        assert_eq!(
+            parse(&argv("prove sys.json")).unwrap(),
+            Command::Prove {
+                path: "sys.json".into(),
+                budget: ProveBudget::Evals(100_000),
+                dvs: false,
+                neglect: false,
+                seed: 0,
+                quick: false,
+                report_out: None,
+                quiet: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "prove sys.json --budget 5000 --dvs --neglect-probabilities --seed 7 --quick \
+                 --report-out cert.json -q"
+            ))
+            .unwrap(),
+            Command::Prove {
+                path: "sys.json".into(),
+                budget: ProveBudget::Evals(5000),
+                dvs: true,
+                neglect: true,
+                seed: 7,
+                quick: true,
+                report_out: Some("cert.json".into()),
+                quiet: true,
+            }
+        );
+        match parse(&argv("prove sys.json --budget 2.5s")).unwrap() {
+            Command::Prove { budget, .. } => assert_eq!(budget, ProveBudget::Seconds(2.5)),
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse(&argv("prove")).is_err());
+        assert!(parse(&argv("prove sys.json --budget")).is_err());
+        assert!(parse(&argv("prove sys.json --budget nope")).is_err());
+        assert!(parse(&argv("prove sys.json --budget -3s")).is_err());
+        assert!(parse(&argv("prove sys.json --bogus")).is_err());
     }
 
     #[test]

@@ -23,14 +23,14 @@ use std::process::ExitCode;
 use momsynth_check::StoredSolution;
 use momsynth_core::telemetry::{Fanout, JsonlSink, ProgressSink, Sink, WarningSink};
 use momsynth_core::{
-    Checkpoint, CheckpointSpec, StopReason, SynthControl, SynthesisConfig, SynthesisError,
-    Synthesizer,
+    Checkpoint, CheckpointSpec, ProveOptions, StopReason, SynthControl, SynthesisConfig,
+    SynthesisError, Synthesizer,
 };
 use momsynth_gen::suite::{generate, mul, GeneratorParams};
 use momsynth_model::{dot, lint, System};
 use momsynth_power::energy_breakdown;
 
-use args::{parse, Command, DotTarget, GeneratePreset, JobRequest, HELP};
+use args::{parse, Command, DotTarget, GeneratePreset, JobRequest, ProveBudget, HELP};
 
 /// `synth` finished but the best solution violates constraints.
 const EXIT_INFEASIBLE: u8 = 2;
@@ -229,6 +229,123 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             } else {
                 ExitCode::SUCCESS
             })
+        }
+        Command::Prove { path, budget, dvs, neglect, seed, quick, report_out, quiet } => {
+            let system = load_system(&path)?;
+            let mut config = if quick {
+                SynthesisConfig::fast_preset(seed)
+            } else {
+                SynthesisConfig::new(seed)
+            };
+            config.probability_aware = !neglect;
+            if dvs {
+                config = config.with_dvs();
+            }
+            if !quiet {
+                eprintln!(
+                    "synthesising `{}` for an incumbent ({}, {}) …",
+                    system.name(),
+                    if neglect { "probability-neglecting" } else { "probability-aware" },
+                    if dvs { "DVS" } else { "fixed voltage" },
+                );
+            }
+            let result = match Synthesizer::new(&system, config.clone()).run() {
+                Ok(result) => result,
+                Err(SynthesisError::Infeasible(analysis)) => {
+                    if !quiet {
+                        eprintln!("specification is provably infeasible; nothing to certify");
+                        print!("{analysis}");
+                    }
+                    return Ok(ExitCode::from(EXIT_INFEASIBLE));
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let mut options =
+                ProveOptions { incumbent: Some(result.best.fitness), ..ProveOptions::default() };
+            match budget {
+                ProveBudget::Evals(n) => options.max_evals = n,
+                ProveBudget::Seconds(t) => {
+                    options.max_evals = u64::MAX;
+                    options.deadline = Some(
+                        std::time::Instant::now() + std::time::Duration::from_secs_f64(t),
+                    );
+                }
+            }
+            if !quiet {
+                eprintln!("certifying with branch-and-bound ({budget:?}) …");
+            }
+            let cert = match momsynth_core::prove(&system, &config, &options) {
+                Ok(cert) => cert,
+                Err(SynthesisError::Infeasible(analysis)) => {
+                    if !quiet {
+                        print!("{analysis}");
+                    }
+                    return Ok(ExitCode::from(EXIT_INFEASIBLE));
+                }
+                Err(e) => return Err(e.into()),
+            };
+
+            // Re-prove the reported best — the search's own winner when
+            // it undercut the GA, the GA's otherwise — with the
+            // independent checker before trusting the certificate.
+            let reported = cert.best.as_ref().unwrap_or(&result.best);
+            let stored = StoredSolution {
+                mapping: reported.mapping.clone(),
+                alloc: reported.alloc.clone(),
+                schedules: reported.schedules.clone(),
+                voltage_schedules: Some(reported.voltage_schedules.clone()),
+                power: reported.power.clone(),
+            };
+            let report = stored.check(&system);
+            if !report.is_clean() {
+                if !quiet {
+                    eprintln!("certified solution failed independent re-verification:");
+                    print!("{report}");
+                }
+                return Ok(ExitCode::from(EXIT_INFEASIBLE));
+            }
+
+            if !quiet {
+                println!("certificate: {}", cert.status);
+                println!("  GA best fitness        {:.9}", result.best.fitness);
+                if let Some(best) = cert.best_fitness {
+                    println!("  certified best fitness {best:.9}");
+                }
+                println!("  certified lower bound  {:.9}", cert.lower_bound);
+                // Search spaces routinely exceed u64; keep big ones
+                // readable in scientific notation.
+                let space = if cert.search_space < 1e9 {
+                    format!("{:.0}", cert.search_space)
+                } else {
+                    format!("{:.2e}", cert.search_space)
+                };
+                println!(
+                    "  searched {space} assignments: {} leaves priced, {} subtrees cut by bound",
+                    cert.explored, cert.pruned_by_bound,
+                );
+                println!(
+                    "  static domain pruning: {} of {} candidates ({} deadline, {} dominance)",
+                    cert.domain_reduction.pruned_by_deadline
+                        + cert.domain_reduction.pruned_by_dominance,
+                    cert.domain_reduction.total_candidates,
+                    cert.domain_reduction.pruned_by_deadline,
+                    cert.domain_reduction.pruned_by_dominance,
+                );
+                println!("  independent re-verification: clean");
+            }
+
+            if let Some(p) = &report_out {
+                let mut json = cert.to_json();
+                if let serde_json::Value::Object(fields) = &mut json {
+                    fields.push(("system".into(), serde_json::json!(system.name())));
+                    fields.push((
+                        "ga_best_fitness".into(),
+                        serde_json::json!(result.best.fitness),
+                    ));
+                }
+                write_output(p, &serde_json::to_string_pretty(&json)?, quiet)?;
+            }
+            Ok(ExitCode::SUCCESS)
         }
         Command::Check { path, solution, report_out } => {
             let system = load_system(&path)?;

@@ -49,6 +49,7 @@ pub mod fitness;
 pub mod genome;
 pub mod improve;
 pub mod local_search;
+pub mod prove;
 pub mod synthesis;
 pub mod transition;
 pub mod verify;
@@ -64,6 +65,7 @@ pub use genome::{Gene, GenomeLayout};
 pub use improve::{improve_random, ImprovementOp};
 pub use local_search::{polish, LocalSearchOptions, LocalSearchStats, PolishControl};
 pub use momsynth_ga::StopReason;
+pub use prove::{prove, Certificate, CertificateStatus, ProveOptions};
 pub use momsynth_telemetry as telemetry;
 pub use synthesis::{CheckpointSpec, SynthControl, SynthesisError, SynthesisResult, Synthesizer};
 pub use transition::{transition_timings, TransitionTiming};

@@ -67,6 +67,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bnb;
+
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
