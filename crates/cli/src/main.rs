@@ -43,9 +43,11 @@ const EXIT_CANCELLED: u8 = 3;
 #[cfg(unix)]
 #[allow(unsafe_code)] // libc signal(2) shim; the only unsafe in the workspace
 mod sigint {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use momsynth_sync::sync::atomic::{AtomicBool, Ordering};
 
     /// Raised by the signal handler, polled by the synthesis loop.
+    /// SeqCst on both sides: a signal handler may fire on any thread
+    /// and this flag is the only channel out of it.
     pub static STOP: AtomicBool = AtomicBool::new(false);
 
     const SIGINT: i32 = 2;
@@ -75,7 +77,7 @@ mod sigint {
 
 #[cfg(not(unix))]
 mod sigint {
-    use std::sync::atomic::AtomicBool;
+    use momsynth_sync::sync::atomic::AtomicBool;
 
     /// Never raised on platforms without the Unix signal shim.
     pub static STOP: AtomicBool = AtomicBool::new(false);
@@ -514,8 +516,8 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             metrics_listen,
             metrics,
         } => {
-            use std::sync::atomic::{AtomicBool, Ordering};
-            use std::sync::Arc;
+            use momsynth_sync::sync::atomic::{AtomicBool, Ordering};
+            use momsynth_sync::sync::Arc;
 
             let mut config = momsynth_serve::ServerConfig::new(PathBuf::from(&root));
             config.workers = workers;
@@ -559,7 +561,7 @@ fn run(command: Command) -> Result<ExitCode, Box<dyn std::error::Error>> {
             } else {
                 serve_on_socket(server, &socket.expect("parser guarantees a socket"), &root)
             };
-            exposition_stop.store(true, Ordering::Relaxed);
+            exposition_stop.store(true, Ordering::Release);
             if let Some(handle) = exposition {
                 let _ = handle.join();
             }
@@ -595,8 +597,8 @@ fn serve_on_socket(
     socket: &str,
     root: &str,
 ) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Arc;
+    use momsynth_sync::sync::atomic::{AtomicBool, Ordering};
+    use momsynth_sync::sync::Arc;
 
     let server = Arc::new(server);
     let stop = Arc::new(AtomicBool::new(false));
@@ -604,9 +606,9 @@ fn serve_on_socket(
     // accept loop and connection threads poll.
     let bridge_stop = Arc::clone(&stop);
     let bridge = std::thread::spawn(move || {
-        while !bridge_stop.load(Ordering::Relaxed) {
+        while !bridge_stop.load(Ordering::Acquire) {
             if sigint::STOP.load(Ordering::SeqCst) {
-                bridge_stop.store(true, Ordering::Relaxed);
+                bridge_stop.store(true, Ordering::Release);
                 break;
             }
             std::thread::sleep(std::time::Duration::from_millis(50));
@@ -614,7 +616,7 @@ fn serve_on_socket(
     });
     eprintln!("serving on `{socket}` (journal `{root}`)");
     let served = momsynth_serve::socket::serve_unix(&server, Path::new(socket), &stop);
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Release);
     let _ = bridge.join();
     match Arc::try_unwrap(server) {
         Ok(server) => server.shutdown(),

@@ -55,7 +55,7 @@ pub mod transition;
 pub mod verify;
 
 pub use alloc::{derive_allocation, AllocOptions};
-pub use cache::{CacheEntry, CacheState, EvalCache};
+pub use cache::{CacheEntry, CacheState, EvalCache, HotSlot, SharedEvalCache};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use config::{
     DvsSynthesisOptions, FaultInjection, InjectedFault, PenaltyWeights, SynthesisConfig,

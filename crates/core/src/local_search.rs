@@ -9,8 +9,9 @@
 //! hardware the mode does not need — which the probability-weighted
 //! fitness is nearly blind to during evolution.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+use momsynth_sync::sync::atomic::{AtomicBool, Ordering};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -50,7 +51,9 @@ pub struct PolishControl<'a> {
 
 impl PolishControl<'_> {
     fn interrupted(&self, evaluations: usize) -> bool {
-        self.stop.is_some_and(|f| f.load(Ordering::Relaxed))
+        // Acquire pairs with the raiser's Release store: observing the
+        // cancellation must also show the state written before it.
+        self.stop.is_some_and(|f| f.load(Ordering::Acquire))
             || self.deadline.is_some_and(|d| Instant::now() >= d)
             || self.max_evaluations.is_some_and(|m| evaluations >= m)
     }

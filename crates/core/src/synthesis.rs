@@ -30,7 +30,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use momsynth_sync::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use rand::{Rng, RngCore};
@@ -420,17 +420,26 @@ impl GaProblem for MappingProblem<'_> {
         // evaluator and counter set; the folds below are commutative
         // sums, so totals are independent of worker scheduling.
         let mut unique_costs = vec![REJECTED_COST; unique.len()];
-        if self.threads <= 1 || unique.len() <= 1 {
+        // Under the loom model checker the scoped parallel arm is
+        // compiled out (loom has no scoped threads); batches price
+        // serially, which the determinism contract already permits.
+        #[cfg(loom)]
+        let serial = true;
+        #[cfg(not(loom))]
+        let serial = self.threads <= 1 || unique.len() <= 1;
+        if serial {
             for (slot, &i) in unique.iter().enumerate() {
                 unique_costs[slot] =
                     price_genome(self.layout, self.config, self.evaluator, &self.counters, &genomes[i]);
             }
-        } else {
+        }
+        #[cfg(not(loom))]
+        if !serial {
             let workers = self.threads.min(unique.len());
             let chunk = unique.len().div_ceil(workers);
             let (layout, system, config) = (self.layout, self.system, self.config);
             let trace = self.evaluator.phase_timing_enabled();
-            std::thread::scope(|scope| {
+            momsynth_sync::thread::scope(|scope| {
                 let handles: Vec<_> = unique
                     .chunks(chunk)
                     .zip(unique_costs.chunks_mut(chunk))
@@ -769,7 +778,10 @@ impl<'a> Synthesizer<'a> {
             );
             evaluations += stats.evaluations;
             if stats.interrupted {
-                stop_reason = if control.stop.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                // Acquire pairs with the Release store in the raiser
+                // (serve's stop path, the CLI's Ctrl-C handler): seeing
+                // the flag must also show why it was raised.
+                stop_reason = if control.stop.is_some_and(|f| f.load(Ordering::Acquire)) {
                     StopReason::Cancelled
                 } else if deadline.is_some_and(|d| Instant::now() >= d) {
                     StopReason::WallClock

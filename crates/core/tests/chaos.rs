@@ -7,8 +7,8 @@
 //! typed [`SynthesisError`] — never a crash, hang or poisoned result.
 
 use std::path::PathBuf;
-use std::sync::atomic::AtomicBool;
-use std::sync::Once;
+use momsynth_sync::sync::atomic::AtomicBool;
+use std::sync::Once; // lint: allow(raw-std-sync-import) Once is not modeled by loom
 
 use proptest::prelude::*;
 

@@ -1,0 +1,101 @@
+//! Loom models for the shared evaluation cache: no fill is ever lost,
+//! concurrent probe/fill keeps every genome's cost intact, and the
+//! lock-free hot slot never serves a torn `(hash, cost)` pair.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p momsynth-core
+//! --test loom_cache --release`; add `--cfg loom_mutation` to arm the
+//! seeded Release→Relaxed downgrade in `HotSlot::publish` and assert
+//! loom catches the resulting tear.
+
+#![cfg(loom)]
+
+use momsynth_core::{HotSlot, SharedEvalCache};
+use momsynth_sync::sync::Arc;
+use momsynth_sync::thread;
+
+/// Two writers fill different genomes; both fills must survive and be
+/// probeable with their exact costs.
+#[cfg(not(loom_mutation))]
+#[test]
+fn concurrent_fills_are_never_lost() {
+    momsynth_sync::model(|| {
+        let cache = Arc::new(SharedEvalCache::new(64));
+        let writers: Vec<_> = [(1u16, 2.5f64), (2, 7.0)]
+            .into_iter()
+            .map(|(seed, cost)| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || cache.fill(&[seed, seed + 1], cost))
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(cache.probe(&[1, 2]), Some(2.5), "fill must never be lost");
+        assert_eq!(cache.probe(&[2, 3]), Some(7.0), "fill must never be lost");
+        assert_eq!(cache.len(), 2);
+    });
+}
+
+/// A reader races a writer refilling the same genome; the probe may
+/// miss or hit, but a hit must return the genome's cost, exactly.
+#[cfg(not(loom_mutation))]
+#[test]
+fn probe_racing_fill_sees_whole_values_or_nothing() {
+    momsynth_sync::model(|| {
+        let cache = Arc::new(SharedEvalCache::new(64));
+        cache.fill(&[9, 9], 1.0);
+        let writer = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.fill(&[5, 5], 3.0))
+        };
+        match cache.probe(&[5, 5]) {
+            None => {}
+            Some(cost) => assert_eq!(cost, 3.0, "a hit must be the filled cost"),
+        }
+        assert_eq!(cache.probe(&[9, 9]), Some(1.0), "unrelated entry untouched");
+        writer.join().unwrap();
+    });
+}
+
+/// The seqlock tear model: one writer publishes two different pairs in
+/// sequence while a reader probes. Any hit must be the cost that was
+/// published *with* the probed hash — never a mix of two publishes.
+/// This is the model whose `loom_mutation` variant (hash store
+/// downgraded to Relaxed) must fail.
+fn hot_slot_tear_model() {
+    let slot = Arc::new(HotSlot::new());
+    let writer = {
+        let slot = Arc::clone(&slot);
+        thread::spawn(move || {
+            slot.publish(1, 10.0);
+            slot.publish(2, 20.0);
+        })
+    };
+    for (hash, expected) in [(1u64, 10.0f64), (2, 20.0)] {
+        if let Some(cost) = slot.probe(hash) {
+            assert_eq!(
+                cost, expected,
+                "hot slot served a torn pair for hash {hash}"
+            );
+        }
+    }
+    writer.join().unwrap();
+}
+
+#[cfg(not(loom_mutation))]
+#[test]
+fn hot_slot_never_serves_a_torn_pair() {
+    momsynth_sync::model(hot_slot_tear_model);
+}
+
+/// With `--cfg loom_mutation` the hash publish is Relaxed, so a reader
+/// can validate a (new hash, old cost) pair; the model must fail.
+#[cfg(loom_mutation)]
+#[test]
+fn seeded_relaxed_hash_publish_is_caught() {
+    let result = std::panic::catch_unwind(|| momsynth_sync::model(hot_slot_tear_model));
+    assert!(
+        result.is_err(),
+        "loom failed to detect the seeded Release→Relaxed downgrade in HotSlot::publish"
+    );
+}

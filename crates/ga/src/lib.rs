@@ -70,7 +70,7 @@
 pub mod bnb;
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use momsynth_sync::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -335,7 +335,7 @@ impl<G> Default for RunControl<'_, G> {
 impl<G> fmt::Debug for RunControl<'_, G> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RunControl")
-            .field("stop", &self.stop.map(|s| s.load(Ordering::Relaxed)))
+            .field("stop", &self.stop.map(|s| s.load(Ordering::Acquire)))
             .field("resume", &self.resume.as_ref().map(|s| s.generation))
             .field("on_generation", &self.on_generation.is_some())
             .field("sink", &self.sink.map(|s| s.enabled()))
@@ -450,8 +450,11 @@ pub fn run_controlled<P: GaProblem>(
             counters,
         }));
     };
+    // Acquire pairs with the raiser's Release store (serve stop path,
+    // CLI Ctrl-C handler): observing the cancellation must also show
+    // the state written before it was raised.
     let stop_requested =
-        |flag: Option<&AtomicBool>| flag.is_some_and(|f| f.load(Ordering::Relaxed));
+        |flag: Option<&AtomicBool>| flag.is_some_and(|f| f.load(Ordering::Acquire));
     let out_of_time = |start: &Instant| {
         config
             .max_seconds
@@ -1211,7 +1214,7 @@ mod tests {
                 stop: Some(&flag),
                 on_generation: Some(Box::new(|snapshot: &GaSnapshot<i64>| {
                     if snapshot.generation >= 3 {
-                        flag.store(true, Ordering::Relaxed);
+                        flag.store(true, Ordering::Release);
                     }
                 })),
                 ..RunControl::default()

@@ -1,0 +1,23 @@
+//! Lint fixture: every rule in `momsynth-lint` must fire on this file.
+//! Lives outside `src`/`tests` so the workspace scan never sees it.
+
+use std::sync::atomic::{AtomicBool, Ordering}; // raw-std-sync-import
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+fn poll_stop() -> bool {
+    STOP.load(Ordering::Relaxed) // relaxed-cross-thread-flag
+}
+
+fn publish_unsynced(tmp: &std::path::Path, path: &std::path::Path) {
+    std::fs::rename(tmp, path).unwrap(); // rename-without-fsync (+ unwrap)
+}
+
+fn handle_request(payload: &str) -> usize {
+    payload.parse().unwrap() // unwrap-in-serve-path
+}
+
+fn register(registry: &Registry) -> Histogram {
+    registry.histogram("x_seconds", "drifting", &[0.1, 1.0, 10.0], &[])
+    // histogram-bucket-literal-drift
+}

@@ -1,0 +1,42 @@
+//! End-to-end checks of the lint driver: the fixture trips every rule
+//! and the real workspace runs clean.
+
+use std::path::{Path, PathBuf};
+
+use momsynth_lint::{lint_file, lint_workspace, RULES};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives at <workspace>/crates/lint")
+        .to_path_buf()
+}
+
+#[test]
+fn fixture_trips_every_rule() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/trip.rs");
+    let content = std::fs::read_to_string(&fixture).expect("fixture readable");
+    // The fixture is addressed as serve-crate source so the
+    // serve-scoped rule applies too.
+    let diagnostics = lint_file(Path::new("crates/serve/src/trip.rs"), &content);
+    for rule in RULES {
+        assert!(
+            diagnostics.iter().any(|d| d.rule == rule),
+            "rule `{rule}` must fire on the fixture; got: {diagnostics:?}"
+        );
+    }
+    for d in &diagnostics {
+        assert!(d.line > 0, "diagnostics carry 1-based lines");
+    }
+}
+
+#[test]
+fn workspace_is_clean() {
+    let diagnostics = lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        diagnostics.is_empty(),
+        "the workspace must lint clean; findings:\n{}",
+        diagnostics.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -40,8 +40,9 @@ mod sink;
 pub use sink::MetricsSink;
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+
+use momsynth_sync::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use momsynth_sync::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -327,6 +328,15 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(cell) = &self.cell {
+            // Seeded bug for the loom mutation check (DESIGN.md §17):
+            // a non-atomic read-modify-write loses concurrent
+            // increments. `tests/loom.rs` asserts loom catches it.
+            #[cfg(loom_mutation)]
+            {
+                let v = cell.load(Ordering::Relaxed);
+                cell.store(v + n, Ordering::Relaxed);
+            }
+            #[cfg(not(loom_mutation))]
             cell.fetch_add(n, Ordering::Relaxed);
         }
     }

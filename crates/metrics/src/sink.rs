@@ -1,7 +1,6 @@
 //! Bridges telemetry events into registry instruments.
 
-use std::sync::Mutex;
-
+use momsynth_sync::sync::Mutex;
 use momsynth_telemetry::{Counters, Event, Phase, Sink};
 
 use crate::{Counter, Gauge, Histogram, Registry, DEFAULT_DURATION_BOUNDS_S};

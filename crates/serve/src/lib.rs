@@ -39,17 +39,20 @@
 //! Unix-domain socket or stdin/stdout ([`socket`]); live telemetry
 //! streams to subscribers as job-tagged events.
 
+pub mod gate;
 pub mod job;
 pub mod journal;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
-mod sink;
+pub mod sink;
 pub mod socket;
 
+pub use gate::WorkGate;
 pub use job::{JobProgress, JobRecord, JobSpec, JobState};
 pub use journal::{Journal, JournalError, JournalTimers};
 pub use metrics::{spawn_exposition, ServeMetrics};
 pub use queue::{PendingQueue, PushOutcome, QueueEntry};
+pub use sink::SubscriberHub;
 pub use server::{JobStatus, Server, ServerConfig, SubmitRejection};

@@ -14,8 +14,8 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use momsynth_sync::sync::atomic::{AtomicBool, Ordering};
+use momsynth_sync::sync::Arc;
 use std::time::{Duration, Instant};
 
 use momsynth_metrics::{
@@ -209,7 +209,7 @@ pub fn spawn_exposition(
     let handle = std::thread::Builder::new()
         .name("momsynth-metrics-http".into())
         .spawn(move || loop {
-            if shutdown.load(Ordering::Relaxed) {
+            if shutdown.load(Ordering::Acquire) {
                 return;
             }
             match listener.accept() {
@@ -356,7 +356,7 @@ mod tests {
         let missing = scrape("/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
 
-        shutdown.store(true, Ordering::Relaxed);
+        shutdown.store(true, Ordering::Release);
         handle.join().unwrap();
     }
 }

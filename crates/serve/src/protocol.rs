@@ -23,7 +23,7 @@
 //! `server` block (`{"queue_depth": ..., "uptime_s": ...}`); each job
 //! value carries its `trace_id` and `age_s` (seconds since submission).
 
-use std::sync::mpsc;
+use momsynth_sync::sync::mpsc;
 use std::time::Duration;
 
 use serde_json::{json, Value};

@@ -4,8 +4,8 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use momsynth_sync::sync::atomic::{AtomicBool, Ordering};
+use momsynth_sync::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use momsynth_core::{
@@ -15,6 +15,7 @@ use momsynth_core::{
 use momsynth_metrics::{MetricsSink, MetricsSnapshot, Registry};
 use momsynth_telemetry::{Event, Fanout, JsonlSink, RunSummary, Sink, Warning};
 
+use crate::gate::WorkGate;
 use crate::job::{JobProgress, JobRecord, JobSpec, JobState};
 use crate::journal::{Journal, JournalTimers};
 use crate::metrics::ServeMetrics;
@@ -123,9 +124,10 @@ struct Sched {
 struct Shared {
     config: ServerConfig,
     journal: Journal,
-    sched: Mutex<Sched>,
-    work_ready: Condvar,
-    shutdown: AtomicBool,
+    /// Scheduler state + work announcement + shutdown latch. The
+    /// admission/shed protocol on this gate is loom-checked in
+    /// `tests/loom_queue.rs`.
+    gate: WorkGate<Sched>,
     hub: Arc<SubscriberHub>,
     recovery_notes: Vec<String>,
     metrics: ServeMetrics,
@@ -228,9 +230,7 @@ impl Server {
         let shared = Arc::new(Shared {
             config: config.clone(),
             journal,
-            sched: Mutex::new(sched),
-            work_ready: Condvar::new(),
-            shutdown: AtomicBool::new(false),
+            gate: WorkGate::new(sched),
             hub: Arc::new(SubscriberHub::default()),
             recovery_notes: notes,
             metrics,
@@ -243,6 +243,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("momsynth-worker-{index}"))
                     .spawn(move || worker_loop(&shared))
+                    // lint: allow(unwrap-in-serve-path) startup, before any request
                     .expect("spawn worker"),
             );
         }
@@ -252,6 +253,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name("momsynth-watchdog".into())
                     .spawn(move || watchdog_loop(&shared))
+                    // lint: allow(unwrap-in-serve-path) startup, before any request
                     .expect("spawn watchdog"),
             );
         }
@@ -277,7 +279,7 @@ impl Server {
     ///
     /// [`SubmitRejection`] carries the suggested retry delay.
     pub fn submit(&self, spec: &JobSpec) -> Result<String, SubmitRejection> {
-        if self.shared.shutdown.load(Ordering::Relaxed) {
+        if self.shared.gate.is_shutting_down() {
             self.shared.metrics.jobs_rejected.inc();
             return Err(SubmitRejection {
                 retry_after_s: 5.0,
@@ -338,8 +340,9 @@ impl Server {
             );
         }
         self.shared.note_queue_depth(&sched);
+        let queued = sched.pending.len();
         drop(sched);
-        self.shared.work_ready.notify_all();
+        self.shared.gate.notify_work(queued);
         Ok(id)
     }
 
@@ -393,7 +396,10 @@ impl Server {
                 if let Some(handle) = sched.running.get_mut(id) {
                     if handle.cause.is_none() {
                         handle.cause = Some(StopCause::Cancel);
-                        handle.stop.store(true, Ordering::Relaxed);
+                        // Release pairs with the GA loop's Acquire load:
+                        // the cause recorded above must be visible to
+                        // whoever observes the cancellation.
+                        handle.stop.store(true, Ordering::Release);
                     }
                 }
             }
@@ -473,24 +479,26 @@ impl Server {
     }
 
     fn shutdown_in_place(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
         {
             let mut sched = self.lock_sched();
             for handle in sched.running.values_mut() {
                 if handle.cause.is_none() {
                     handle.cause = Some(StopCause::Shutdown);
-                    handle.stop.store(true, Ordering::Relaxed);
+                    // Release: the recorded cause must travel with the
+                    // flag (see `cancel`).
+                    handle.stop.store(true, Ordering::Release);
                 }
             }
         }
-        self.shared.work_ready.notify_all();
+        // Latches the shutdown flag (Release) and wakes every worker.
+        self.shared.gate.begin_shutdown();
         for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
     }
 
-    fn lock_sched(&self) -> std::sync::MutexGuard<'_, Sched> {
-        self.shared.sched.lock().expect("scheduler state poisoned")
+    fn lock_sched(&self) -> MutexGuard<'_, Sched> {
+        self.shared.gate.lock()
     }
 }
 
@@ -507,9 +515,9 @@ impl Drop for Server {
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let entry = {
-            let mut sched = shared.sched.lock().expect("scheduler state poisoned");
+            let mut sched = shared.gate.lock();
             loop {
-                if shared.shutdown.load(Ordering::Relaxed) {
+                if shared.gate.is_shutting_down() {
                     return;
                 }
                 let now = Instant::now();
@@ -525,11 +533,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                     .map(|t| t.saturating_duration_since(now))
                     .filter(|d| !d.is_zero())
                     .unwrap_or(Duration::from_millis(100));
-                let (guard, _) = shared
-                    .work_ready
-                    .wait_timeout(sched, wait)
-                    .expect("scheduler state poisoned");
-                sched = guard;
+                sched = shared.gate.wait_for_work_timeout(sched, wait);
             }
         };
         run_job(shared, &entry);
@@ -541,16 +545,18 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// once a second.
 fn watchdog_loop(shared: &Arc<Shared>) {
     let mut ticks: u64 = 0;
-    while !shared.shutdown.load(Ordering::Relaxed) {
+    while !shared.gate.is_shutting_down() {
         {
-            let mut sched = shared.sched.lock().expect("scheduler state poisoned");
+            let mut sched = shared.gate.lock();
             let now = Instant::now();
             for handle in sched.running.values_mut() {
                 if handle.cause.is_none()
                     && handle.deadline.is_some_and(|d| now >= d)
                 {
                     handle.cause = Some(StopCause::Timeout);
-                    handle.stop.store(true, Ordering::Relaxed);
+                    // Release: the recorded cause must travel with the
+                    // flag (see `cancel`).
+                    handle.stop.store(true, Ordering::Release);
                 }
             }
         }
@@ -584,7 +590,7 @@ fn run_job(shared: &Arc<Shared>, entry: &QueueEntry) {
     shared.metrics.workers_busy.add(1);
     let _busy = BusyGuard(shared.metrics.workers_busy.clone());
     let (progress, trace_id) = {
-        let mut sched = shared.sched.lock().expect("scheduler state poisoned");
+        let mut sched = shared.gate.lock();
         sched.running.insert(
             id.clone(),
             RunningHandle { stop: Arc::clone(&stop), cause: None, deadline: None },
@@ -643,7 +649,7 @@ fn run_job(shared: &Arc<Shared>, entry: &QueueEntry) {
 
     // Arm the per-attempt deadline and flip to Running.
     {
-        let mut sched = shared.sched.lock().expect("scheduler state poisoned");
+        let mut sched = shared.gate.lock();
         if let Some(handle) = sched.running.get_mut(id) {
             handle.deadline =
                 spec.timeout_seconds.map(|s| Instant::now() + Duration::from_secs_f64(s));
@@ -694,7 +700,7 @@ fn run_job(shared: &Arc<Shared>, entry: &QueueEntry) {
     // Why did we stop? The GA only reports `Cancelled`; the handle
     // remembers which actor raised the flag.
     let cause = {
-        let mut sched = shared.sched.lock().expect("scheduler state poisoned");
+        let mut sched = shared.gate.lock();
         sched.running.remove(id).and_then(|h| h.cause)
     };
 
@@ -778,7 +784,7 @@ fn finish(
     error: Option<String>,
     summary: Option<RunSummary>,
 ) {
-    let mut sched = shared.sched.lock().expect("scheduler state poisoned");
+    let mut sched = shared.gate.lock();
     sched.running.remove(id);
     if let Some(record) = sched.jobs.get_mut(id) {
         record.error = error;
@@ -791,7 +797,7 @@ fn finish(
 /// Retry policy for transient failures (panics, checkpoint I/O):
 /// exponential backoff up to `max_retries`, then permanent failure.
 fn transient_failure(shared: &Arc<Shared>, entry: &QueueEntry, message: &str) {
-    let mut sched = shared.sched.lock().expect("scheduler state poisoned");
+    let mut sched = shared.gate.lock();
     sched.running.remove(&entry.id);
     let attempts = sched.jobs.get(&entry.id).map_or(1, |r| r.attempts);
     if attempts > shared.config.max_retries {
@@ -813,8 +819,9 @@ fn transient_failure(shared: &Arc<Shared>, entry: &QueueEntry, message: &str) {
         not_before: Some(Instant::now() + Duration::from_secs_f64(backoff)),
     });
     shared.note_queue_depth(&sched);
+    let queued = sched.pending.len();
     drop(sched);
-    shared.work_ready.notify_all();
+    shared.gate.notify_work(queued);
 }
 
 /// Best-effort extraction of a panic payload message.

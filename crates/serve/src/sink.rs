@@ -1,8 +1,7 @@
 //! Telemetry plumbing between a running job and the server: live
 //! progress updates and job-tagged event streaming to subscribers.
 
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use momsynth_sync::sync::{mpsc, Arc, Mutex};
 
 use momsynth_telemetry::{Event, JobEvent, Sink};
 
@@ -18,14 +17,17 @@ pub(crate) struct Subscriber {
     pub tx: mpsc::Sender<String>,
 }
 
-/// Shared registry of event subscribers.
+/// Shared registry of event subscribers. Public so the loom models in
+/// `tests/loom_queue.rs` can check the subscribe/broadcast race on the
+/// production type.
 #[derive(Debug, Default)]
-pub(crate) struct SubscriberHub {
+pub struct SubscriberHub {
     subscribers: Mutex<Vec<Subscriber>>,
 }
 
 impl SubscriberHub {
     /// Registers a subscriber and returns its receiving half.
+    #[allow(clippy::missing_panics_doc)] // lock poisoning is a bug upstream
     pub fn subscribe(&self, job: Option<String>) -> mpsc::Receiver<String> {
         let (tx, rx) = mpsc::channel();
         self.subscribers
@@ -47,10 +49,14 @@ impl SubscriberHub {
         });
     }
 
-    /// Number of live subscribers (tests).
-    #[cfg(test)]
+    /// Number of live subscribers.
     pub fn len(&self) -> usize {
         self.subscribers.lock().expect("subscriber registry poisoned").len()
+    }
+
+    /// Whether no subscriber is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 

@@ -2,8 +2,8 @@
 //! resident operation and a stdin/stdout oneshot mode for scripting.
 
 use std::io::{BufRead, BufReader, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use momsynth_sync::sync::atomic::{AtomicBool, Ordering};
+use momsynth_sync::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use crate::protocol::{handle_line, to_line, Reply};
@@ -28,7 +28,7 @@ fn pump_stream(
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => return,
         }
-        if stop.load(Ordering::Relaxed) {
+        if stop.load(Ordering::Acquire) {
             return;
         }
         if let Some(id) = job {
@@ -64,7 +64,7 @@ pub fn serve_stdio(
         if line.trim().is_empty() {
             continue;
         }
-        if stop.load(Ordering::Relaxed) {
+        if stop.load(Ordering::Acquire) {
             break;
         }
         match handle_line(server, &line) {
@@ -111,7 +111,7 @@ pub fn serve_unix(
     listener.set_nonblocking(true)?;
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
 
-    while !stop.load(Ordering::Relaxed) {
+    while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _addr)) => {
                 let server = Arc::clone(server);
@@ -151,7 +151,7 @@ fn serve_connection(
     let mut reader = BufReader::new(stream);
     let mut writer = stream;
     let mut line = String::new();
-    while !stop.load(Ordering::Relaxed) {
+    while !stop.load(Ordering::Acquire) {
         match reader.read_line(&mut line) {
             Ok(0) => return,
             Ok(_) => {}
@@ -187,7 +187,7 @@ fn serve_connection(
             }
             Reply::Shutdown(v) => {
                 let _ = writeln!(writer, "{}", to_line(&v)).and_then(|()| writer.flush());
-                stop.store(true, Ordering::Relaxed);
+                stop.store(true, Ordering::Release);
                 return;
             }
         }

@@ -3,7 +3,7 @@
 //! transient-failure retry and restart recovery.
 
 use std::path::PathBuf;
-use std::sync::atomic::AtomicBool;
+use momsynth_sync::sync::atomic::AtomicBool;
 use std::time::{Duration, Instant};
 
 use momsynth_core::{CheckpointSpec, SynthControl, Synthesizer};
@@ -308,8 +308,8 @@ fn restart_resumes_interrupted_jobs_as_an_exact_trajectory_tail() {
 #[test]
 fn trace_ids_and_metrics_agree_across_status_trace_journal_and_scrape() {
     use std::io::{Read, Write};
-    use std::sync::atomic::Ordering;
-    use std::sync::Arc;
+    use momsynth_sync::sync::atomic::Ordering;
+    use momsynth_sync::sync::Arc;
 
     let root = tmp_root("observability");
     let server = Server::start(config(root.clone())).unwrap();
@@ -409,7 +409,7 @@ fn trace_ids_and_metrics_agree_across_status_trace_journal_and_scrape() {
     assert!(scrape.starts_with("HTTP/1.1 200 OK"), "{scrape}");
     assert!(scrape.contains("momsynth_jobs_submitted_total 1"), "{scrape}");
     assert!(scrape.contains("state=\"verified\""), "{scrape}");
-    shutdown.store(true, Ordering::Relaxed);
+    shutdown.store(true, Ordering::Release);
     handle.join().unwrap();
 
     // (6) Going terminal journalled a per-job metrics snapshot.

@@ -3,7 +3,8 @@
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+
+use momsynth_sync::sync::Mutex;
 
 use crate::event::Event;
 
@@ -54,6 +55,9 @@ impl Sink for NullSink {
 #[derive(Debug, Default)]
 pub struct MemorySink {
     events: Mutex<Vec<Event>>,
+    /// Lock-free monotone count of recorded events; see
+    /// [`MemorySink::recorded_hint`].
+    recorded: momsynth_sync::sync::atomic::AtomicUsize,
 }
 
 impl MemorySink {
@@ -67,15 +71,36 @@ impl MemorySink {
         self.events.lock().expect("memory sink poisoned").clone()
     }
 
-    /// Drains and returns everything recorded so far.
+    /// Drains and returns everything recorded so far. The recorded
+    /// hint is *not* reset: it counts records over the sink's lifetime.
     pub fn take(&self) -> Vec<Event> {
         std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+    }
+
+    /// How many events have been recorded over this sink's lifetime,
+    /// without taking the writers' lock. Monotone and exact (each
+    /// record bumps it exactly once), but a reader may briefly observe
+    /// it ahead of [`MemorySink::events`] while a record is in flight.
+    pub fn recorded_hint(&self) -> usize {
+        use momsynth_sync::sync::atomic::Ordering;
+        self.recorded.load(Ordering::Relaxed)
     }
 }
 
 impl Sink for MemorySink {
     fn record(&self, event: &Event) {
+        use momsynth_sync::sync::atomic::Ordering;
         self.events.lock().expect("memory sink poisoned").push(event.clone());
+        // Seeded bug for the loom mutation check (DESIGN.md §17): a
+        // non-atomic load+store loses concurrent bumps, breaking the
+        // "exact" contract of `recorded_hint`.
+        #[cfg(loom_mutation)]
+        {
+            let v = self.recorded.load(Ordering::Relaxed);
+            self.recorded.store(v + 1, Ordering::Relaxed);
+        }
+        #[cfg(not(loom_mutation))]
+        self.recorded.fetch_add(1, Ordering::Relaxed);
     }
 }
 

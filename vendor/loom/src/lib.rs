@@ -1,0 +1,489 @@
+//! An offline, API-compatible subset of the
+//! [`loom`](https://docs.rs/loom) concurrency model checker.
+//!
+//! [`model`] runs a closure under a deterministic scheduler that
+//! exhaustively explores thread interleavings (depth-first over every
+//! schedule point, bounded by `LOOM_MAX_PREEMPTIONS`) and weak-memory
+//! behaviours (every store an atomic load may legally observe under
+//! the release/acquire model). Any execution that panics, asserts, or
+//! deadlocks makes [`model`] panic with the failure, so a plain
+//! `#[test]` wrapping `loom::model(|| ...)` is a machine-checked proof
+//! over the explored schedule space.
+//!
+//! The subset implemented here covers what this workspace's `sync`
+//! facade needs: [`sync::Mutex`], [`sync::Condvar`] (including
+//! [`sync::Condvar::wait_timeout`], modeled as a wakeup that may fire
+//! any time the mutex is free), [`sync::Arc`], the
+//! [`sync::atomic`] integer/bool types, and [`thread::spawn`] /
+//! [`thread::yield_now`]. Known divergences from upstream loom:
+//!
+//! - `SeqCst` is approximated as `AcqRel`; a total order over SeqCst
+//!   operations is not modeled (sound for release/acquire protocols,
+//!   too weak for SC-only algorithms such as Dekker's).
+//! - Condvars never wake spuriously; timed waits *may* wake without a
+//!   notification (the timeout path), untimed waits may not. This is
+//!   stricter than `std`, so protocols proven here must still guard
+//!   waits with a predicate loop for real executions.
+//! - Channels are not modeled; `std::sync::mpsc` works under the
+//!   checker because only one thread runs at a time, but blocking
+//!   `recv` would deadlock the model — use `try_recv` in models.
+//! - `UnsafeCell` is not provided: the workspace denies `unsafe_code`,
+//!   so all shared state goes through `Mutex` or atomics anyway.
+
+mod rt;
+
+/// Runs `f` under the model checker, exploring every schedule within
+/// the preemption bound. Panics if any execution fails (assertion,
+/// panic, or deadlock).
+///
+/// Environment knobs: `LOOM_MAX_PREEMPTIONS` (default 3),
+/// `LOOM_MAX_ITERATIONS` (default 200000, warns when hit),
+/// `LOOM_LOG` (print the number of executions explored).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    rt::explore(std::sync::Arc::new(f));
+}
+
+/// Controlled threads: modeled spawn/join plus an explicit schedule
+/// point.
+pub mod thread {
+    use crate::rt;
+
+    /// Handle to a controlled thread; joining is a schedule point and
+    /// a happens-before edge, as in `std`.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        real: std::thread::JoinHandle<Option<T>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked (in
+        /// practice a panicking thread fails the whole model first).
+        pub fn join(self) -> std::thread::Result<T> {
+            rt::join(self.tid);
+            match self.real.join() {
+                Ok(Some(value)) => Ok(value),
+                Ok(None) => Err(Box::new("loom: joined thread failed")),
+                Err(payload) => Err(payload),
+            }
+        }
+    }
+
+    /// Spawns a controlled thread.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (tid, real) = rt::spawn(f);
+        JoinHandle { tid, real }
+    }
+
+    /// An explicit schedule point (no memory effect).
+    pub fn yield_now() {
+        rt::yield_now();
+    }
+}
+
+/// Modeled counterparts of `std::sync` primitives.
+pub mod sync {
+    pub use std::sync::Arc;
+    pub use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+
+    use crate::rt;
+
+    /// Modeled atomics: every access is a schedule point, and loads
+    /// explore all stores permitted by the release/acquire model.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use crate::rt::ObjToken;
+
+        macro_rules! atomic_int {
+            ($name:ident, $ty:ty, $to:expr, $from:expr) => {
+                /// A modeled atomic integer (subset of the `std` API).
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    token: ObjToken,
+                    initial: u64,
+                }
+
+                impl $name {
+                    /// A new cell holding `value`.
+                    #[must_use]
+                    pub fn new(value: $ty) -> Self {
+                        Self { token: ObjToken::default(), initial: $to(value) }
+                    }
+
+                    /// Modeled load: explores every legally observable
+                    /// store.
+                    pub fn load(&self, order: Ordering) -> $ty {
+                        $from(crate::rt::atomic_load(&self.token, self.initial, order))
+                    }
+
+                    /// Modeled store.
+                    pub fn store(&self, value: $ty, order: Ordering) {
+                        crate::rt::atomic_store(
+                            &self.token,
+                            self.initial,
+                            $to(value),
+                            order,
+                        );
+                    }
+
+                    /// Modeled swap; returns the previous value.
+                    pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                        $from(crate::rt::atomic_rmw(
+                            &self.token,
+                            self.initial,
+                            order,
+                            |_| $to(value),
+                        ))
+                    }
+
+                    /// Modeled wrapping add; returns the previous value.
+                    pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                        $from(crate::rt::atomic_rmw(
+                            &self.token,
+                            self.initial,
+                            order,
+                            |prev| $to($from(prev).wrapping_add(value)),
+                        ))
+                    }
+
+                    /// Modeled wrapping subtract; returns the previous
+                    /// value.
+                    pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                        $from(crate::rt::atomic_rmw(
+                            &self.token,
+                            self.initial,
+                            order,
+                            |prev| $to($from(prev).wrapping_sub(value)),
+                        ))
+                    }
+
+                    /// Modeled bitwise OR; returns the previous value.
+                    pub fn fetch_or(&self, value: $ty, order: Ordering) -> $ty {
+                        $from(crate::rt::atomic_rmw(
+                            &self.token,
+                            self.initial,
+                            order,
+                            |prev| $to($from(prev) | value),
+                        ))
+                    }
+
+                    /// Modeled compare-exchange.
+                    ///
+                    /// # Errors
+                    ///
+                    /// Returns the actual value when it differs from
+                    /// `current`.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        crate::rt::atomic_cas(
+                            &self.token,
+                            self.initial,
+                            $to(current),
+                            $to(new),
+                            success,
+                            failure,
+                        )
+                        .map($from)
+                        .map_err($from)
+                    }
+
+                    /// Modeled weak compare-exchange (never fails
+                    /// spuriously here — the strong semantics are a
+                    /// superset, so proofs remain valid).
+                    ///
+                    /// # Errors
+                    ///
+                    /// Returns the actual value when it differs from
+                    /// `current`.
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        fn u64_id(v: u64) -> u64 {
+            v
+        }
+        fn usize_to_bits(v: usize) -> u64 {
+            v as u64
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        fn usize_from_bits(v: u64) -> usize {
+            v as usize
+        }
+        fn u32_to_bits(v: u32) -> u64 {
+            u64::from(v)
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        fn u32_from_bits(v: u64) -> u32 {
+            v as u32
+        }
+        #[allow(clippy::cast_sign_loss)]
+        fn i64_to_bits(v: i64) -> u64 {
+            v as u64
+        }
+        #[allow(clippy::cast_possible_wrap)]
+        fn i64_from_bits(v: u64) -> i64 {
+            v as i64
+        }
+
+        atomic_int!(AtomicU64, u64, u64_id, u64_id);
+        atomic_int!(AtomicUsize, usize, usize_to_bits, usize_from_bits);
+        atomic_int!(AtomicU32, u32, u32_to_bits, u32_from_bits);
+        atomic_int!(AtomicI64, i64, i64_to_bits, i64_from_bits);
+
+        /// A modeled atomic boolean (subset of the `std` API).
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            token: ObjToken,
+            initial: u64,
+        }
+
+        impl AtomicBool {
+            /// A new cell holding `value`.
+            #[must_use]
+            pub fn new(value: bool) -> Self {
+                Self { token: ObjToken::default(), initial: u64::from(value) }
+            }
+
+            /// Modeled load: explores every legally observable store.
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::rt::atomic_load(&self.token, self.initial, order) != 0
+            }
+
+            /// Modeled store.
+            pub fn store(&self, value: bool, order: Ordering) {
+                crate::rt::atomic_store(
+                    &self.token,
+                    self.initial,
+                    u64::from(value),
+                    order,
+                );
+            }
+
+            /// Modeled swap; returns the previous value.
+            pub fn swap(&self, value: bool, order: Ordering) -> bool {
+                crate::rt::atomic_rmw(&self.token, self.initial, order, |_| {
+                    u64::from(value)
+                }) != 0
+            }
+
+            /// Modeled compare-exchange.
+            ///
+            /// # Errors
+            ///
+            /// Returns the actual value when it differs from `current`.
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<bool, bool> {
+                crate::rt::atomic_cas(
+                    &self.token,
+                    self.initial,
+                    u64::from(current),
+                    u64::from(new),
+                    success,
+                    failure,
+                )
+                .map(|v| v != 0)
+                .map_err(|v| v != 0)
+            }
+        }
+    }
+
+    /// A modeled mutex: lock/unlock are schedule points, lock order is
+    /// explored, and the lock carries a happens-before edge.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        token: rt::ObjToken,
+        data: std::sync::Mutex<T>,
+    }
+
+    /// Guard returned by [`Mutex::lock`]; dropping it is the modeled
+    /// unlock.
+    #[derive(Debug)]
+    pub struct MutexGuard<'a, T> {
+        mutex: &'a Mutex<T>,
+        id: usize,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        /// Set by `Condvar::wait*`, which takes over the unlock.
+        defused: bool,
+    }
+
+    impl<T> Mutex<T> {
+        /// A new mutex holding `value`.
+        #[must_use]
+        pub fn new(value: T) -> Self {
+            Self { token: rt::ObjToken::default(), data: std::sync::Mutex::new(value) }
+        }
+
+        /// Acquires the mutex (a schedule point; blocking is modeled).
+        ///
+        /// # Errors
+        ///
+        /// Never errs: poisoning is not modeled, matching upstream
+        /// loom. The `LockResult` wrapper keeps the `std` signature.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let id = rt::mutex_lock(&self.token);
+            // The model grants exclusive ownership, so the data lock is
+            // free; a poisoned flag from an earlier aborted execution
+            // is cleared rather than propagated.
+            let inner =
+                self.data.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            Ok(MutexGuard { mutex: self, id, inner: Some(inner), defused: false })
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        ///
+        /// # Errors
+        ///
+        /// Never errs (see [`Mutex::lock`]).
+        pub fn into_inner(self) -> LockResult<T> {
+            Ok(self.data.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard accessed after wait")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard accessed after wait")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.defused {
+                return;
+            }
+            drop(self.inner.take());
+            rt::mutex_unlock(self.id);
+        }
+    }
+
+    /// Result of [`Condvar::wait_timeout`]; mirrors the `std` type,
+    /// which has no public constructor.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WaitTimeoutResult(bool);
+
+    impl WaitTimeoutResult {
+        /// Whether the wait ended by timeout rather than notification.
+        #[must_use]
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// A modeled condition variable. No spurious wakeups; timed waits
+    /// may wake without a notification (the modeled timeout) whenever
+    /// the mutex is free.
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        token: rt::ObjToken,
+    }
+
+    impl Condvar {
+        /// A new condition variable.
+        #[must_use]
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Releases the guard's mutex, waits for a notification, and
+        /// reacquires it.
+        ///
+        /// # Errors
+        ///
+        /// Never errs (poisoning is not modeled).
+        pub fn wait<'a, T>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+        ) -> LockResult<MutexGuard<'a, T>> {
+            let mutex = guard.mutex;
+            let id = guard.id;
+            guard.defused = true;
+            drop(guard.inner.take());
+            drop(guard);
+            rt::condvar_wait(&self.token, id, false);
+            let inner =
+                mutex.data.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            Ok(MutexGuard { mutex, id, inner: Some(inner), defused: false })
+        }
+
+        /// Like [`Condvar::wait`], but the wait may also end by
+        /// timeout. The duration is ignored: the model explores the
+        /// timeout firing at every point where the mutex is free.
+        ///
+        /// # Errors
+        ///
+        /// Never errs (poisoning is not modeled).
+        pub fn wait_timeout<'a, T>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+            _dur: std::time::Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            let mutex = guard.mutex;
+            let id = guard.id;
+            guard.defused = true;
+            drop(guard.inner.take());
+            drop(guard);
+            let timed_out = rt::condvar_wait(&self.token, id, true);
+            let inner =
+                mutex.data.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            Ok((
+                MutexGuard { mutex, id, inner: Some(inner), defused: false },
+                WaitTimeoutResult(timed_out),
+            ))
+        }
+
+        /// Wakes one waiter; which one is an explored decision.
+        pub fn notify_one(&self) {
+            rt::condvar_notify(&self.token, false);
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            rt::condvar_notify(&self.token, true);
+        }
+    }
+}
+
+/// `spin_loop` maps to a schedule point under the model.
+pub mod hint {
+    /// A schedule point standing in for `std::hint::spin_loop`.
+    pub fn spin_loop() {
+        crate::thread::yield_now();
+    }
+}

@@ -1,0 +1,818 @@
+//! The model-checking runtime: a deterministic cooperative scheduler
+//! over real OS threads plus a release/acquire vector-clock memory
+//! model.
+//!
+//! One execution runs the user closure with exactly one controlled
+//! thread active at a time. Every visible operation (atomic access,
+//! mutex, condvar, spawn/join, yield) is a *schedule point*: the
+//! runtime consults the current decision path to pick which thread
+//! performs the next operation, and — for atomic loads — which store
+//! the load observes. [`explore`] then backtracks over the recorded
+//! decision path depth-first, so every interleaving (and every legal
+//! weak-memory read) within the preemption bound is visited exactly
+//! once.
+//!
+//! ## Memory model
+//!
+//! Each atomic location keeps its full modification order. A store
+//! records the storing thread's vector clock (`hb`, for
+//! happens-before supersession) and, when it is a release store (or
+//! continues a release sequence through an RMW), a message clock
+//! (`msg`). A load may observe any store that is not superseded by a
+//! later store that happens-before the load, and not older than the
+//! last store this thread already observed (per-location coherence).
+//! Acquire loads join the observed store's message clock. `SeqCst` is
+//! approximated as `AcqRel` — a single total order over SeqCst
+//! operations is *not* modeled, which is sound for the
+//! release/acquire protocols this subset is used to check but would
+//! report false failures for SC-only algorithms (e.g. Dekker).
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Panic payload used to unwind controlled threads when an execution
+/// is abandoned (failure or deadlock elsewhere).
+pub(crate) struct Abort;
+
+/// A vector clock, indexed by thread id (missing components are 0).
+pub(crate) type VClock = Vec<u64>;
+
+fn clock_le(a: &VClock, b: &VClock) -> bool {
+    a.iter().enumerate().all(|(i, &v)| v <= b.get(i).copied().unwrap_or(0))
+}
+
+fn clock_join(a: &mut VClock, b: &VClock) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (i, &v) in b.iter().enumerate() {
+        if a[i] < v {
+            a[i] = v;
+        }
+    }
+}
+
+/// One recorded decision: `chosen` out of `total` options.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Choice {
+    chosen: usize,
+    total: usize,
+}
+
+/// Where a controlled thread currently stands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Run {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCv { cv: usize, mutex: usize, timed: bool },
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadSt {
+    run: Run,
+    clock: VClock,
+    /// Set when a timed condvar wait was woken by its (modeled)
+    /// timeout rather than a notification.
+    timed_out: bool,
+    /// Timeout wakeups taken this execution; bounded so a
+    /// wait-timeout/re-wait loop cannot make an execution infinite.
+    timeout_fires: usize,
+}
+
+#[derive(Debug)]
+struct StoreRec {
+    value: u64,
+    /// The storing thread's clock at the store (happens-before).
+    hb: VClock,
+    /// Synchronizes-with payload; empty unless the store releases (or
+    /// continues a release sequence).
+    msg: VClock,
+    release: bool,
+}
+
+#[derive(Debug)]
+struct Location {
+    stores: Vec<StoreRec>,
+    /// Per-thread coherence floor: index of the newest store already
+    /// observed (read or written) by each thread.
+    seen: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct MutexSt {
+    owner: Option<usize>,
+    /// Clock released into the mutex by the last unlock.
+    clock: VClock,
+}
+
+pub(crate) struct RtState {
+    threads: Vec<ThreadSt>,
+    active: usize,
+    path: Vec<Choice>,
+    cursor: usize,
+    preemptions: usize,
+    max_preemptions: usize,
+    /// Per-thread cap on modeled timeout wakeups per execution.
+    max_timeout_fires: usize,
+    locations: Vec<Location>,
+    mutexes: Vec<MutexSt>,
+    condvars: usize,
+    failure: Option<String>,
+    abort: bool,
+    /// Registered, not-yet-finished threads.
+    live: usize,
+}
+
+/// One execution's runtime, shared by all its controlled threads.
+pub(crate) struct Rt {
+    state: StdMutex<RtState>,
+    cv: StdCondvar,
+    /// Execution-unique token; object ids from other executions are
+    /// re-registered when their epoch differs.
+    pub(crate) epoch: u64,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> (Arc<Rt>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitives may only be used inside loom::model")
+    })
+}
+
+pub(crate) fn set_current(rt: Option<(Arc<Rt>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = rt);
+}
+
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Registration token held by every modeled object (atomic, mutex,
+/// condvar): the id is valid for one epoch only.
+#[derive(Debug, Default)]
+pub(crate) struct ObjToken {
+    slot: StdMutex<Option<(u64, usize)>>,
+}
+
+impl Rt {
+    fn new(
+        prefix: Vec<Choice>,
+        max_preemptions: usize,
+        max_timeout_fires: usize,
+        epoch: u64,
+    ) -> Self {
+        Self {
+            state: StdMutex::new(RtState {
+                threads: Vec::new(),
+                active: 0,
+                path: prefix,
+                cursor: 0,
+                preemptions: 0,
+                max_preemptions,
+                max_timeout_fires,
+                locations: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: 0,
+                failure: None,
+                abort: false,
+                live: 0,
+            }),
+            cv: StdCondvar::new(),
+            epoch,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RtState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl RtState {
+    fn tick(&mut self, tid: usize) {
+        let clock = &mut self.threads[tid].clock;
+        if clock.len() <= tid {
+            clock.resize(tid + 1, 0);
+        }
+        clock[tid] += 1;
+    }
+
+    /// Picks `chosen` out of `total` options, consuming the replay
+    /// prefix first and recording fresh decisions after it.
+    fn decide(&mut self, total: usize) -> usize {
+        if total <= 1 {
+            return 0;
+        }
+        if self.cursor < self.path.len() {
+            let choice = self.path[self.cursor];
+            self.cursor += 1;
+            return choice.chosen.min(total - 1);
+        }
+        self.path.push(Choice { chosen: 0, total });
+        self.cursor += 1;
+        0
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        match self.threads[tid].run {
+            Run::Runnable => true,
+            Run::BlockedMutex(m) => self.mutexes[m].owner.is_none(),
+            Run::BlockedCv { timed, mutex, .. } => {
+                timed
+                    && self.threads[tid].timeout_fires < self.max_timeout_fires
+                    && self.mutexes[mutex].owner.is_none()
+            }
+            Run::BlockedJoin(t) => self.threads[t].run == Run::Finished,
+            Run::Finished => false,
+        }
+    }
+
+    /// Performs the wake-up transition for a chosen thread and makes
+    /// it active.
+    fn activate(&mut self, tid: usize) {
+        match self.threads[tid].run {
+            Run::Runnable => {}
+            Run::BlockedMutex(m) => {
+                self.mutexes[m].owner = Some(tid);
+                let clock = self.mutexes[m].clock.clone();
+                clock_join(&mut self.threads[tid].clock, &clock);
+                self.threads[tid].run = Run::Runnable;
+            }
+            Run::BlockedCv { mutex, .. } => {
+                // A timed waiter scheduled directly: its timeout fires
+                // and it reacquires the mutex (enabled ⇒ free).
+                self.mutexes[mutex].owner = Some(tid);
+                let clock = self.mutexes[mutex].clock.clone();
+                clock_join(&mut self.threads[tid].clock, &clock);
+                self.threads[tid].timed_out = true;
+                self.threads[tid].timeout_fires += 1;
+                self.threads[tid].run = Run::Runnable;
+            }
+            Run::BlockedJoin(t) => {
+                let clock = self.threads[t].clock.clone();
+                clock_join(&mut self.threads[tid].clock, &clock);
+                self.threads[tid].run = Run::Runnable;
+            }
+            Run::Finished => unreachable!("finished threads are never activated"),
+        }
+        self.active = tid;
+    }
+
+    /// Chooses and activates the next thread. `current` is the thread
+    /// making a non-blocking schedule point (it stays runnable and is
+    /// charged a preemption if passed over); `None` means the caller
+    /// just blocked or finished. Returns `false` on deadlock.
+    fn pick_next(&mut self, current: Option<usize>) -> bool {
+        let enabled: Vec<usize> =
+            (0..self.threads.len()).filter(|&t| self.enabled(t)).collect();
+        if enabled.is_empty() {
+            if self.threads.iter().any(|t| t.run != Run::Finished) {
+                self.failure.get_or_insert_with(|| {
+                    let blocked: Vec<String> = self
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.run != Run::Finished)
+                        .map(|(i, t)| format!("thread {i}: {:?}", t.run))
+                        .collect();
+                    format!("deadlock: every live thread is blocked ({})", blocked.join(", "))
+                });
+                self.abort = true;
+            }
+            return false;
+        }
+        let options = match current {
+            Some(tid)
+                if self.preemptions >= self.max_preemptions && enabled.contains(&tid) =>
+            {
+                vec![tid]
+            }
+            _ => enabled,
+        };
+        let chosen = options[self.decide(options.len())];
+        if let Some(tid) = current {
+            if chosen != tid {
+                self.preemptions += 1;
+            }
+        }
+        self.activate(chosen);
+        true
+    }
+}
+
+fn abort_now() -> ! {
+    std::panic::panic_any(Abort)
+}
+
+/// Parks the calling controlled thread until it becomes active again.
+fn park(rt: &Rt, tid: usize) {
+    let mut st = rt.lock();
+    loop {
+        if st.abort {
+            drop(st);
+            abort_now();
+        }
+        if st.active == tid && st.threads[tid].run == Run::Runnable {
+            return;
+        }
+        st = rt.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+/// A schedule point before a visible operation: lets the explorer run
+/// any other enabled thread first.
+fn op_point(rt: &Rt, tid: usize) {
+    let mut st = rt.lock();
+    if st.abort {
+        drop(st);
+        abort_now();
+    }
+    st.tick(tid);
+    if !st.pick_next(Some(tid)) {
+        drop(st);
+        abort_now();
+    }
+    let switched = st.active != tid;
+    drop(st);
+    if switched {
+        rt.cv.notify_all();
+        park(rt, tid);
+    }
+}
+
+/// Blocks the calling thread (its `run` state must already be set to a
+/// blocked variant) and parks until it is scheduled again.
+fn block(rt: &Rt, mut st: std::sync::MutexGuard<'_, RtState>, tid: usize) {
+    if !st.pick_next(None) {
+        drop(st);
+        abort_now();
+    }
+    drop(st);
+    rt.cv.notify_all();
+    park(rt, tid);
+}
+
+fn resolve<F: FnOnce(&mut RtState) -> usize>(
+    st: &mut RtState,
+    token: &ObjToken,
+    epoch: u64,
+    alloc: F,
+) -> usize {
+    let mut slot = token.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    match *slot {
+        Some((e, id)) if e == epoch => id,
+        _ => {
+            let id = alloc(st);
+            *slot = Some((epoch, id));
+            id
+        }
+    }
+}
+
+fn location_id(st: &mut RtState, token: &ObjToken, epoch: u64, initial: u64) -> usize {
+    resolve(st, token, epoch, |st| {
+        st.locations.push(Location {
+            stores: vec![StoreRec {
+                value: initial,
+                hb: Vec::new(),
+                msg: Vec::new(),
+                release: false,
+            }],
+            seen: Vec::new(),
+        });
+        st.locations.len() - 1
+    })
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn seen_floor(loc: &Location, tid: usize) -> usize {
+    loc.seen.get(tid).copied().unwrap_or(0)
+}
+
+fn note_seen(loc: &mut Location, tid: usize, index: usize) {
+    if loc.seen.len() <= tid {
+        loc.seen.resize(tid + 1, 0);
+    }
+    loc.seen[tid] = loc.seen[tid].max(index);
+}
+
+/// An atomic load: picks (as an explored decision) any store not ruled
+/// out by happens-before supersession or per-thread coherence.
+pub(crate) fn atomic_load(token: &ObjToken, initial: u64, ord: Ordering) -> u64 {
+    let (rt, tid) = current();
+    op_point(&rt, tid);
+    let mut st = rt.lock();
+    let loc_id = location_id(&mut st, token, rt.epoch, initial);
+    let clock = st.threads[tid].clock.clone();
+    let loc = &st.locations[loc_id];
+    let hb_latest = loc
+        .stores
+        .iter()
+        .rposition(|s| clock_le(&s.hb, &clock))
+        .unwrap_or(0);
+    let floor = hb_latest.max(seen_floor(loc, tid));
+    let candidates = loc.stores.len() - floor;
+    let choice = st.decide(candidates);
+    // Choice 0 observes the newest store, so the common (strongest)
+    // behaviour is explored first.
+    let index = st.locations[loc_id].stores.len() - 1 - choice;
+    note_seen(&mut st.locations[loc_id], tid, index);
+    let store = &st.locations[loc_id].stores[index];
+    let value = store.value;
+    if is_acquire(ord) {
+        let msg = store.msg.clone();
+        clock_join(&mut st.threads[tid].clock, &msg);
+    }
+    value
+}
+
+pub(crate) fn atomic_store(token: &ObjToken, initial: u64, value: u64, ord: Ordering) {
+    let (rt, tid) = current();
+    op_point(&rt, tid);
+    let mut st = rt.lock();
+    let loc_id = location_id(&mut st, token, rt.epoch, initial);
+    let hb = st.threads[tid].clock.clone();
+    let release = is_release(ord);
+    let msg = if release { hb.clone() } else { Vec::new() };
+    let loc = &mut st.locations[loc_id];
+    loc.stores.push(StoreRec { value, hb, msg, release });
+    let index = loc.stores.len() - 1;
+    note_seen(loc, tid, index);
+}
+
+/// An atomic read-modify-write: always reads the newest store, and
+/// continues the release sequence of the store it replaces.
+pub(crate) fn atomic_rmw(
+    token: &ObjToken,
+    initial: u64,
+    ord: Ordering,
+    f: impl FnOnce(u64) -> u64,
+) -> u64 {
+    let (rt, tid) = current();
+    op_point(&rt, tid);
+    let mut st = rt.lock();
+    let loc_id = location_id(&mut st, token, rt.epoch, initial);
+    let last = st.locations[loc_id].stores.last().expect("locations never lose stores");
+    let prev = last.value;
+    let last_release = last.release;
+    let last_msg = last.msg.clone();
+    if is_acquire(ord) {
+        clock_join(&mut st.threads[tid].clock, &last_msg);
+    }
+    let hb = st.threads[tid].clock.clone();
+    let mut msg = if is_release(ord) { hb.clone() } else { Vec::new() };
+    if last_release {
+        clock_join(&mut msg, &last_msg);
+    }
+    let release = is_release(ord) || last_release;
+    let loc = &mut st.locations[loc_id];
+    loc.stores.push(StoreRec { value: f(prev), hb, msg, release });
+    let index = loc.stores.len() - 1;
+    note_seen(loc, tid, index);
+    prev
+}
+
+/// Compare-and-exchange against the newest store.
+pub(crate) fn atomic_cas(
+    token: &ObjToken,
+    initial: u64,
+    cur: u64,
+    new: u64,
+    ok: Ordering,
+    fail: Ordering,
+) -> Result<u64, u64> {
+    let (rt, tid) = current();
+    op_point(&rt, tid);
+    let mut st = rt.lock();
+    let loc_id = location_id(&mut st, token, rt.epoch, initial);
+    let last_index = st.locations[loc_id].stores.len() - 1;
+    let last = &st.locations[loc_id].stores[last_index];
+    let prev = last.value;
+    let last_release = last.release;
+    let last_msg = last.msg.clone();
+    if prev != cur {
+        note_seen(&mut st.locations[loc_id], tid, last_index);
+        if is_acquire(fail) {
+            clock_join(&mut st.threads[tid].clock, &last_msg);
+        }
+        return Err(prev);
+    }
+    if is_acquire(ok) {
+        clock_join(&mut st.threads[tid].clock, &last_msg);
+    }
+    let hb = st.threads[tid].clock.clone();
+    let mut msg = if is_release(ok) { hb.clone() } else { Vec::new() };
+    if last_release {
+        clock_join(&mut msg, &last_msg);
+    }
+    let release = is_release(ok) || last_release;
+    let loc = &mut st.locations[loc_id];
+    loc.stores.push(StoreRec { value: new, hb, msg, release });
+    let index = loc.stores.len() - 1;
+    note_seen(loc, tid, index);
+    Ok(prev)
+}
+
+fn mutex_id(st: &mut RtState, token: &ObjToken, epoch: u64) -> usize {
+    resolve(st, token, epoch, |st| {
+        st.mutexes.push(MutexSt { owner: None, clock: Vec::new() });
+        st.mutexes.len() - 1
+    })
+}
+
+/// Model-level mutex acquisition; blocks until the mutex is free.
+pub(crate) fn mutex_lock(token: &ObjToken) -> usize {
+    let (rt, tid) = current();
+    op_point(&rt, tid);
+    let mut st = rt.lock();
+    let id = mutex_id(&mut st, token, rt.epoch);
+    if st.mutexes[id].owner.is_none() {
+        st.mutexes[id].owner = Some(tid);
+        let clock = st.mutexes[id].clock.clone();
+        clock_join(&mut st.threads[tid].clock, &clock);
+    } else {
+        st.threads[tid].run = Run::BlockedMutex(id);
+        block(&rt, st, tid);
+    }
+    id
+}
+
+/// Model-level mutex release. Safe to call while unwinding (performs
+/// a best-effort release without scheduling).
+pub(crate) fn mutex_unlock(id: usize) {
+    if !in_model() {
+        return;
+    }
+    let (rt, tid) = current();
+    if std::thread::panicking() {
+        let mut st = rt.lock();
+        if st.mutexes.get(id).is_some_and(|m| m.owner == Some(tid)) {
+            st.mutexes[id].owner = None;
+        }
+        drop(st);
+        rt.cv.notify_all();
+        return;
+    }
+    op_point(&rt, tid);
+    let mut st = rt.lock();
+    st.tick(tid);
+    let clock = st.threads[tid].clock.clone();
+    clock_join(&mut st.mutexes[id].clock, &clock);
+    st.mutexes[id].owner = None;
+    drop(st);
+    rt.cv.notify_all();
+}
+
+fn condvar_id(st: &mut RtState, token: &ObjToken, epoch: u64) -> usize {
+    resolve(st, token, epoch, |st| {
+        st.condvars += 1;
+        st.condvars - 1
+    })
+}
+
+/// Releases `mutex`, waits on the condvar, reacquires `mutex`.
+/// Returns whether the (modeled) timeout fired for timed waits.
+pub(crate) fn condvar_wait(token: &ObjToken, mutex: usize, timed: bool) -> bool {
+    let (rt, tid) = current();
+    op_point(&rt, tid);
+    let mut st = rt.lock();
+    let cv = condvar_id(&mut st, token, rt.epoch);
+    st.tick(tid);
+    let clock = st.threads[tid].clock.clone();
+    clock_join(&mut st.mutexes[mutex].clock, &clock);
+    st.mutexes[mutex].owner = None;
+    st.threads[tid].timed_out = false;
+    st.threads[tid].run = Run::BlockedCv { cv, mutex, timed };
+    block(&rt, st, tid);
+    let st = rt.lock();
+    st.threads[tid].timed_out
+}
+
+/// Wakes one (explored choice) or all waiters of the condvar.
+pub(crate) fn condvar_notify(token: &ObjToken, all: bool) {
+    let (rt, tid) = current();
+    op_point(&rt, tid);
+    let mut st = rt.lock();
+    let cv = condvar_id(&mut st, token, rt.epoch);
+    let waiters: Vec<usize> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| matches!(t.run, Run::BlockedCv { cv: c, .. } if c == cv))
+        .map(|(i, _)| i)
+        .collect();
+    if waiters.is_empty() {
+        return;
+    }
+    let chosen: Vec<usize> = if all {
+        waiters
+    } else {
+        let pick = st.decide(waiters.len());
+        vec![waiters[pick]]
+    };
+    for tid in chosen {
+        if let Run::BlockedCv { mutex, .. } = st.threads[tid].run {
+            st.threads[tid].run = Run::BlockedMutex(mutex);
+        }
+    }
+}
+
+/// Registers and starts a controlled child thread running `f`.
+pub(crate) fn spawn<T: Send + 'static>(
+    f: impl FnOnce() -> T + Send + 'static,
+) -> (usize, std::thread::JoinHandle<Option<T>>) {
+    let (rt, tid) = current();
+    op_point(&rt, tid);
+    let child = {
+        let mut st = rt.lock();
+        let child = st.threads.len();
+        let mut clock = st.threads[tid].clock.clone();
+        if clock.len() <= child {
+            clock.resize(child + 1, 0);
+        }
+        clock[child] += 1;
+        st.threads.push(ThreadSt {
+            run: Run::Runnable,
+            clock,
+            timed_out: false,
+            timeout_fires: 0,
+        });
+        st.live += 1;
+        child
+    };
+    let rt_child = Arc::clone(&rt);
+    let handle = std::thread::spawn(move || {
+        set_current(Some((Arc::clone(&rt_child), child)));
+        park(&rt_child, child);
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        // Failed executions return None; the model is abandoned anyway.
+        let (value, panic) = match out {
+            Ok(value) => (Some(value), None),
+            Err(payload) => (None, Some(payload)),
+        };
+        finish_thread(&rt_child, child, panic);
+        set_current(None);
+        value
+    });
+    (child, handle)
+}
+
+/// Blocks until thread `target` finishes (join edge included).
+pub(crate) fn join(target: usize) {
+    let (rt, tid) = current();
+    op_point(&rt, tid);
+    let mut st = rt.lock();
+    if st.threads[target].run == Run::Finished {
+        let clock = st.threads[target].clock.clone();
+        clock_join(&mut st.threads[tid].clock, &clock);
+    } else {
+        st.threads[tid].run = Run::BlockedJoin(target);
+        block(&rt, st, tid);
+    }
+}
+
+/// A pure schedule point.
+pub(crate) fn yield_now() {
+    let (rt, tid) = current();
+    op_point(&rt, tid);
+}
+
+/// Marks the calling thread finished, records a failure if it panicked,
+/// and hands the schedule to the next enabled thread.
+fn finish_thread(rt: &Rt, tid: usize, panic: Option<Box<dyn std::any::Any + Send>>) {
+    let mut st = rt.lock();
+    if let Some(payload) = panic {
+        if !payload.is::<Abort>() {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "thread panicked with a non-string payload".to_owned()
+            };
+            st.failure.get_or_insert(message);
+            st.abort = true;
+        }
+    }
+    st.threads[tid].run = Run::Finished;
+    st.live -= 1;
+    if st.live > 0 && !st.abort {
+        st.pick_next(None);
+    }
+    drop(st);
+    rt.cv.notify_all();
+}
+
+/// Runs one execution of `f` with the given replay prefix; returns the
+/// explored decision path and the failure, if any.
+fn run_one(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<Choice>,
+    max_preemptions: usize,
+    max_timeout_fires: usize,
+    epoch: u64,
+) -> (Vec<Choice>, Option<String>) {
+    let rt = Arc::new(Rt::new(prefix, max_preemptions, max_timeout_fires, epoch));
+    {
+        let mut st = rt.lock();
+        st.threads.push(ThreadSt {
+            run: Run::Runnable,
+            clock: vec![1],
+            timed_out: false,
+            timeout_fires: 0,
+        });
+        st.live = 1;
+        st.active = 0;
+    }
+    let rt_root = Arc::clone(&rt);
+    let f = Arc::clone(f);
+    let root = std::thread::spawn(move || {
+        set_current(Some((Arc::clone(&rt_root), 0)));
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f()));
+        finish_thread(&rt_root, 0, out.err());
+        set_current(None);
+    });
+    // Wait until every controlled thread has finished. Spawned threads
+    // belong to this execution even when their JoinHandle is leaked.
+    {
+        let mut st = rt.lock();
+        while st.live > 0 {
+            st = rt.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    root.join().ok();
+    let st = rt.lock();
+    (st.path.clone(), st.failure.clone())
+}
+
+/// Drops exhausted trailing decisions and advances the deepest
+/// non-exhausted one. Returns `false` when the space is exhausted.
+fn backtrack(path: &mut Vec<Choice>) -> bool {
+    while let Some(last) = path.pop() {
+        if last.chosen + 1 < last.total {
+            path.push(Choice { chosen: last.chosen + 1, total: last.total });
+            return true;
+        }
+    }
+    false
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Process-global execution counter: epochs must be unique across
+/// *all* models in the process, because `static` atomics keep their
+/// [`ObjToken`] between models.
+static NEXT_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Explores every schedule of `f` within the preemption bound
+/// (`LOOM_MAX_PREEMPTIONS`, default 3) up to the execution budget
+/// (`LOOM_MAX_ITERATIONS`, default 200000). Panics with the failing
+/// execution's message when any schedule fails.
+pub(crate) fn explore(f: Arc<dyn Fn() + Send + Sync>) {
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 3);
+    let max_timeout_fires = env_usize("LOOM_MAX_TIMEOUT_FIRES", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 200_000);
+    let mut path: Vec<Choice> = Vec::new();
+    let mut executions: usize = 0;
+    loop {
+        executions += 1;
+        let epoch = NEXT_EPOCH.fetch_add(1, Ordering::Relaxed);
+        let (explored, failure) =
+            run_one(&f, path, max_preemptions, max_timeout_fires, epoch);
+        if let Some(message) = failure {
+            panic!(
+                "loom: model failed after {executions} execution(s): {message}"
+            );
+        }
+        path = explored;
+        if !backtrack(&mut path) {
+            break;
+        }
+        if executions >= max_iterations {
+            eprintln!(
+                "loom: stopping after {executions} executions \
+                 (LOOM_MAX_ITERATIONS budget); exploration is incomplete"
+            );
+            break;
+        }
+    }
+    if std::env::var("LOOM_LOG").is_ok() {
+        eprintln!("loom: explored {executions} execution(s)");
+    }
+}
